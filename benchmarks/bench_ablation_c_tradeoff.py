@@ -1,0 +1,15 @@
+"""Ablation bench: the C trade-off (§3.2) — copies vs late recovery."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_c import run_c_tradeoff
+
+
+def test_ablation_c_tradeoff(benchmark, show):
+    table = run_once(benchmark, run_c_tradeoff,
+                     cs=(1.0, 2.0, 3.0, 4.0, 6.0, 8.0), n=100, seeds=30)
+    show(table)
+    copies = table.series["mean long-term copies (buffer cost)"]
+    assert all(a <= b + 0.5 for a, b in zip(copies, copies[1:]))  # grows with C
+    unserved = table.series["unserved within horizon"]
+    assert unserved[0] >= unserved[-1]  # large C rescues the unlucky receiver
+    assert unserved[-1] == 0

@@ -1,0 +1,16 @@
+"""Ablation bench: graceful handoff vs crash under churn (§3.2)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_churn import run_churn_handoff
+
+
+def test_ablation_churn_handoff(benchmark, show):
+    table = run_once(benchmark, run_churn_handoff, n=50, c=4.0, seeds=30)
+    show(table)
+    survived = table.series["message survived (%)"]
+    transfers = table.series["handoff transfers"]
+    graceful, crash = 0, 1
+    assert survived[graceful] >= 90.0
+    assert survived[crash] <= 10.0
+    assert transfers[graceful] > 0.0
+    assert transfers[crash] == 0.0

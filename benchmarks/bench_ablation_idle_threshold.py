@@ -1,0 +1,24 @@
+"""Ablation bench: sensitivity to the idle threshold T (§3.1)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_idle import run_idle_threshold
+
+
+def test_ablation_idle_threshold(benchmark, show):
+    table = run_once(benchmark, run_idle_threshold,
+                     thresholds=(10.0, 20.0, 40.0, 80.0, 160.0),
+                     n=100, k=4, seeds=20)
+    show(table)
+    violations = table.series["reliability violations"]
+    buffering = table.series["mean holder buffering time (ms)"]
+    requests = table.series["mean local requests per run"]
+    # Aggressive T: discards while requests are in flight.
+    assert violations[0] > violations[2]
+    assert requests[0] > requests[2]
+    # The paper's T = 40 ms sits where violations all but vanish (§5
+    # admits a small residual probability, so assert "rare", not zero:
+    # ~2000 recoveries happen across the 20 seeds at this x-point).
+    assert violations[2] <= 5
+    assert violations[0] > 100 * max(1, violations[2])
+    # ...and larger T only buys more buffering time.
+    assert buffering[-1] > buffering[2] > buffering[0]

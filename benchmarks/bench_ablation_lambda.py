@@ -1,0 +1,19 @@
+"""Ablation bench: λ — duplicate WAN requests vs regional recovery (§2.2)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_lambda import run_lambda_sweep
+
+
+def test_ablation_lambda_sweep(benchmark, show):
+    table = run_once(benchmark, run_lambda_sweep,
+                     lams=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+                     region_size=50, seeds=30)
+    show(table)
+    requests = table.series["mean remote requests sent"]
+    recovery = table.series["mean time to full region recovery (ms)"]
+    assert requests[-1] > requests[0]   # duplicates grow with lambda
+    assert recovery[0] > recovery[-1]   # recovery speeds up with lambda
+    # Diminishing returns: going 4 -> 8 buys far less than 0.25 -> 1.
+    gain_low = recovery[0] - recovery[2]
+    gain_high = recovery[4] - recovery[5]
+    assert gain_low > gain_high

@@ -1,0 +1,25 @@
+"""Ablation bench: all buffering policies on one streamed WAN workload."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_policies import run_policy_comparison
+
+
+def test_ablation_policy_comparison(benchmark, show):
+    table = run_once(benchmark, run_policy_comparison,
+                     region_size=20, messages=30, interval=20.0,
+                     loss=0.05, seeds=3)
+    show(table)
+    label_index = {label: i for i, label in enumerate(table.xs)}
+    occupancy = table.series["avg total occupancy"]
+    control = table.series["control messages"]
+    undelivered = table.series["undelivered"]
+    two_phase = label_index["two-phase C=6 T=40"]
+    never = label_index["never-discard"]
+    stability = label_index["stability-gossip"]
+    tree = label_index["repair-server tree"]
+    # The paper's claims on one table:
+    assert occupancy[two_phase] < occupancy[never]          # far below the strawman
+    assert control[stability] > 1.5 * control[two_phase]    # digest traffic dominates
+    assert undelivered[two_phase] == 0.0                    # still reliable here
+    peak_node = table.series["peak single-node occupancy"]
+    assert peak_node[tree] >= peak_node[two_phase]           # server hotspot

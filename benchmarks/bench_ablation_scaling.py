@@ -1,0 +1,20 @@
+"""Ablation bench: per-member costs as the region grows (abstract claim)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_scaling import run_scaling
+
+
+def test_ablation_scaling(benchmark, show):
+    table = run_once(benchmark, run_scaling,
+                     ns=(25, 50, 100, 200, 400), seeds=8)
+    show(table)
+    recovery = table.series["time to full recovery (ms)"]
+    requests = table.series["local requests per member"]
+    copies = table.series["long-term copies (expect ~C)"]
+    # Recovery grows with n, but far slower than linearly (epidemic).
+    assert recovery[-1] > recovery[0]
+    assert recovery[-1] / recovery[0] < (400 / 25) / 2
+    # Per-member request cost stays roughly flat across 16x growth.
+    assert max(requests) < 3.0 * min(requests)
+    # Long-term copies stay ~C instead of growing with n.
+    assert all(2.0 < value < 11.0 for value in copies)

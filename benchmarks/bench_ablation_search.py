@@ -1,0 +1,18 @@
+"""Ablation bench: randomized search vs multicast-request storms (§3.3)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_search_storm import run_search_vs_multicast
+
+
+def test_ablation_search_vs_multicast(benchmark, show):
+    table = run_once(benchmark, run_search_vs_multicast,
+                     buffering_fractions=(0.06, 0.1, 0.25, 0.5, 1.0),
+                     n=100, seeds=100)
+    show(table)
+    storm = table.series["multicast: duplicate replies"]
+    assert all(a <= b + 0.2 for a, b in zip(storm, storm[1:]))
+    # The §3.3 implosion: with everyone still buffering, the multicast
+    # approach multiplies replies while the search still sends one.
+    assert storm[-1] > 4.0
+    search_messages = table.series["search: messages"]
+    assert search_messages[-1] <= 1.5

@@ -1,0 +1,20 @@
+"""Regenerate paper Figure 4: P[no long-term bufferer] vs C.
+
+Paper claim: the probability decreases exponentially with C; at C = 6
+it is only 0.25%.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4 import run_fig4
+
+
+def test_fig4_no_bufferer_probability(benchmark, show):
+    table = run_once(benchmark, run_fig4, trials=50_000)
+    show(table)
+    poisson = table.series["poisson e^-C"]
+    assert all(a > b for a, b in zip(poisson, poisson[1:]))  # strictly decaying
+    assert abs(poisson[0] - 36.79) < 0.1   # e^-1 at C=1
+    assert abs(poisson[-1] - 0.25) < 0.02  # the paper's headline 0.25%
+    simulated = table.series["simulated (50000 trials)"]
+    for analytic, measured in zip(table.series["binomial (1-C/n)^n, n=100"], simulated):
+        assert abs(analytic - measured) < 1.0

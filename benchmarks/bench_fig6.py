@@ -1,0 +1,19 @@
+"""Regenerate paper Figure 6: feedback-based buffering effectiveness.
+
+Paper setup: region of 100, RTT 10 ms, T = 40 ms; k members hold the
+message initially, everyone else requests.  Claim: average holder
+buffering time decreases monotonically with k (from ~110 ms at k = 1).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6 import run_fig6
+
+
+def test_fig6_feedback_buffering(benchmark, show):
+    table = run_once(benchmark, run_fig6,
+                     ks=(1, 2, 4, 8, 16, 32, 64), n=100, seeds=20)
+    show(table)
+    times = table.series["avg buffering time (ms)"]
+    assert all(a > b for a, b in zip(times, times[1:])), "must decrease with k"
+    assert 90.0 < times[0] < 140.0   # paper: ~110 ms at k=1
+    assert 40.0 <= times[-1] < 70.0  # floor near T=40 at k=64

@@ -1,0 +1,25 @@
+"""Regenerate paper Figure 7: #received vs #buffered over time (k = 1).
+
+Paper claim: the buffered count tracks the received count while
+recovery is in progress, then collapses rapidly once an overwhelming
+majority (~96%) of members have the message.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7 import run_fig7
+
+
+def test_fig7_received_vs_buffered(benchmark, show):
+    table = run_once(benchmark, run_fig7, n=100, k=1, seed=0,
+                     sample_dt=5.0, horizon=200.0)
+    show(table)
+    received = table.series["#received"]
+    buffered = table.series["#buffered"]
+    assert received[0] == 1.0 and received[-1] == 100.0
+    assert all(b >= a for a, b in zip(received, received[1:]))
+    # While coverage is below ~90%, buffering tracks receipt closely.
+    for r, b in zip(received, buffered):
+        if r <= 90.0:
+            assert b >= 0.9 * r
+    # And collapses by the end of the window.
+    assert buffered[-1] <= 5.0

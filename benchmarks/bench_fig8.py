@@ -1,0 +1,21 @@
+"""Regenerate paper Figure 8: search time vs number of bufferers.
+
+Paper setup: region of 100; the remote request lands on a random
+member; 100 seeds averaged.  Claim: search time decreases with the
+bufferer count; ~20 ms (two RTTs) at 10 bufferers.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8 import run_fig8
+
+
+def test_fig8_search_time_vs_bufferers(benchmark, show):
+    table = run_once(benchmark, run_fig8,
+                     bs=tuple(range(1, 11)), n=100, seeds=100)
+    show(table)
+    times = table.series["mean search time (ms)"]
+    # Monotone trend (tolerate small adjacent noise, require the sweep).
+    assert times[0] > times[-1]
+    assert all(times[i] >= times[i + 2] for i in range(len(times) - 2))
+    assert 35.0 < times[0] < 65.0   # paper: ~45-50 ms at b=1
+    assert 14.0 < times[-1] < 28.0  # paper: ~20 ms at b=10

@@ -1,0 +1,21 @@
+"""Regenerate paper Figure 9: search time vs region size (10 bufferers).
+
+Paper claim: growing the region 100 -> 1000 members increases search
+time by only ~2.2x, while buffer space saved vs buffer-everywhere grows
+to 100x.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_search_time_vs_region_size(benchmark, show):
+    table = run_once(benchmark, run_fig9,
+                     ns=tuple(range(100, 1001, 100)), bufferers=10, seeds=50)
+    show(table)
+    times = table.series["mean search time (ms)"]
+    growth = table.series["growth vs smallest n"]
+    assert times[-1] > times[0]          # grows with region size...
+    assert 1.5 < growth[-1] < 4.0        # ...but sublinearly (paper: 2.2x)
+    savings = table.series["buffer-space saving vs buffer-everywhere"]
+    assert savings[-1] == 100.0          # paper's 100x at n=1000

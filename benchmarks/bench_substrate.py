@@ -1,0 +1,93 @@
+"""Microbenchmarks of the simulation substrate.
+
+Not a paper figure — these time the building blocks (event engine,
+transport fan-out, two-phase policy operations, a full protocol round)
+so performance regressions in the substrate are visible independently
+of the experiment harness.  These use pytest-benchmark's normal
+multi-round timing, unlike the one-shot figure benches.
+"""
+
+from repro.net.ipmulticast import FixedHolderCount
+from repro.net.latency import ConstantLatency
+from repro.net.topology import single_region
+from repro.net.transport import Network
+from repro.protocol.config import RrmpConfig
+from repro.protocol.messages import DataMessage
+from repro.protocol.rrmp import RrmpSimulation
+from repro.sim import RandomStreams, Simulator, TraceLog
+from repro.core.manager import TwoPhaseBufferPolicy
+from tests.conftest import FakeBufferHost
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule-and-fire cost of 10k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.after(1.0, tick)
+
+        sim.after(1.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 10_000
+
+
+def test_network_multicast_fanout(benchmark):
+    """Cost of multicasting to 500 endpoints and delivering."""
+
+    class Sink:
+        def on_packet(self, packet):
+            pass
+
+    def run():
+        sim = Simulator()
+        network = Network(sim, ConstantLatency(5.0), streams=RandomStreams(1))
+        sink = Sink()
+        for node in range(500):
+            network.register(node, sink)
+        data = DataMessage(seq=1, sender=0)
+        network.multicast(0, list(range(500)), data)
+        sim.run()
+        return network.stats.delivered
+
+    assert benchmark(run) == 499
+
+
+def test_two_phase_policy_churn(benchmark):
+    """Receive/request/idle lifecycle for 500 messages."""
+
+    def run():
+        sim = Simulator()
+        host = FakeBufferHost(sim, TraceLog(keep_records=False), region_size=100)
+        policy = TwoPhaseBufferPolicy(idle_threshold=40.0, long_term_c=0.0)
+        policy.bind(host)
+        for seq in range(500):
+            policy.on_receive(DataMessage(seq=seq, sender=0))
+            policy.on_request(seq)
+        sim.run()
+        return len(policy.buffer.records)
+
+    assert benchmark(run) == 500
+
+
+def test_full_protocol_recovery_round(benchmark):
+    """One lossy multicast to 100 members recovered end to end."""
+
+    def run():
+        simulation = RrmpSimulation(
+            single_region(100),
+            config=RrmpConfig(session_interval=25.0),
+            seed=5,
+            outcome=FixedHolderCount(10),
+        )
+        simulation.sender.multicast()
+        simulation.run(duration=1_000.0)
+        return simulation.received_count(1)
+
+    assert benchmark(run) == 100

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one paper figure (or ablation) exactly
+once under ``pytest-benchmark`` timing, prints the series table to the
+terminal (bypassing capture, so ``tee``d output keeps the rows), and
+asserts the shape properties the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.report import SeriesTable
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a SeriesTable to the real terminal despite capture."""
+
+    def _show(table: SeriesTable) -> SeriesTable:
+        with capsys.disabled():
+            print()
+            print(table.to_text())
+        return table
+
+    return _show
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run *fn* exactly once under benchmark timing and return its result."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

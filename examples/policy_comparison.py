@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Compare every buffering scheme on one WAN workload (paper §1/§3.4).
+
+Runs the same streamed, lossy, three-region session under:
+
+* the paper's two-phase policy,
+* Bimodal-Multicast-style fixed-time buffering,
+* gossip stability detection (discard only when globally stable),
+* the authors' earlier deterministic hash selection (NGC'99),
+* the conservative never-discard strawman, and
+* an RMTP-like repair-server tree,
+
+then prints the multi-metric table: average/peak occupancy, hotspot
+size, recovery latency, and control-traffic cost.
+
+Run:  python examples/policy_comparison.py        (~a minute)
+"""
+
+from repro.experiments.ablation_policies import run_policy_comparison
+
+
+def main() -> None:
+    print("== buffering policy comparison (3 regions x 20 members, "
+          "30 msgs, 5% loss) ==\n")
+    table = run_policy_comparison(region_size=20, messages=30, interval=20.0,
+                                  loss=0.05, seeds=2)
+    print(table.to_text(precision=1))
+    print()
+    print("reading guide:")
+    print("  - 'never-discard' shows the unbounded cost the paper's §1 strawman pays;")
+    print("  - 'repair-server tree' concentrates the whole session on one node per")
+    print("    region (peak single-node occupancy column);")
+    print("  - 'stability-gossip' stays safe but pays continuous digest traffic")
+    print("    (control messages column);")
+    print("  - 'two-phase' keeps occupancy low *and* spread out, with control")
+    print("    traffic close to the plain protocol's.")
+
+
+if __name__ == "__main__":
+    main()

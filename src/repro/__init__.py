@@ -1,0 +1,86 @@
+"""repro — reproduction of *Optimizing Buffer Management for Reliable
+Multicast* (Xiao, Birman, van Renesse; DSN 2002).
+
+The package implements the RRMP randomized reliable multicast protocol
+and its two-phase buffer-management algorithm (feedback-based
+short-term buffering + randomized long-term buffering + bufferer
+search), together with every substrate the paper's evaluation needs: a
+discrete-event simulator, a region-hierarchy network model, baseline
+buffering policies and the experiment harness that regenerates each
+figure.
+
+Quickstart
+----------
+>>> from repro import RrmpSimulation, single_region, FixedHolderCount
+>>> sim = RrmpSimulation(single_region(50), seed=7,
+...                      outcome=FixedHolderCount(5))
+>>> _ = sim.sender.multicast()
+>>> _ = sim.run(duration=500.0)
+>>> sim.all_received(1)
+True
+"""
+
+from repro.core import (
+    BufferPolicy,
+    FixedTimePolicy,
+    NeverDiscardPolicy,
+    NoBufferPolicy,
+    TwoPhaseBufferPolicy,
+)
+from repro.net import (
+    BernoulliOutcome,
+    ConstantLatency,
+    FixedHolderCount,
+    FixedHolders,
+    Hierarchy,
+    HierarchicalLatency,
+    PerfectOutcome,
+    RegionCorrelatedOutcome,
+    balanced_tree,
+    chain,
+    single_region,
+    star,
+)
+from repro.protocol import (
+    PAPER_SECTION4_CONFIG,
+    DataMessage,
+    RrmpConfig,
+    RrmpMember,
+    RrmpSender,
+    RrmpSimulation,
+    two_phase_policy_factory,
+)
+from repro.sim import RandomStreams, Simulator, TraceLog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BernoulliOutcome",
+    "BufferPolicy",
+    "ConstantLatency",
+    "DataMessage",
+    "FixedHolderCount",
+    "FixedHolders",
+    "FixedTimePolicy",
+    "Hierarchy",
+    "HierarchicalLatency",
+    "NeverDiscardPolicy",
+    "NoBufferPolicy",
+    "PAPER_SECTION4_CONFIG",
+    "PerfectOutcome",
+    "RandomStreams",
+    "RegionCorrelatedOutcome",
+    "RrmpConfig",
+    "RrmpMember",
+    "RrmpSender",
+    "RrmpSimulation",
+    "Simulator",
+    "TraceLog",
+    "TwoPhaseBufferPolicy",
+    "balanced_tree",
+    "chain",
+    "single_region",
+    "star",
+    "two_phase_policy_factory",
+    "__version__",
+]

@@ -1,0 +1,114 @@
+"""Mean-field models of the randomized recovery dynamics.
+
+The paper grounds local recovery in epidemic theory ("As long as at
+least one local receiver has the message, p is able to recover the loss
+eventually.  This has been shown in previous work on epidemic theory",
+§2.2, citing Bailey and the Xerox Clearinghouse work).  These
+deterministic mean-field recurrences predict the *shape* of the curves
+the simulator produces — the Figure 7 S-curve and the Figure 8/9 search
+times — and the test-suite checks simulation against them within
+tolerance.
+
+All models advance in *rounds* of one intra-region RTT (10 ms in §4),
+since a missing member re-asks a new random neighbour each RTT.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def pull_epidemic_curve(n: int, initial_holders: int, max_rounds: int = 200) -> List[float]:
+    """Expected holder counts per round for randomized pull recovery.
+
+    Each missing member asks one uniformly-random other member per
+    round; the pull succeeds iff the target currently holds the
+    message.  In expectation, with ``I_t`` holders out of *n*:
+
+        I_{t+1} = I_t + (n - I_t) * (I_t / (n - 1))
+
+    Returns the sequence ``[I_0, I_1, ...]`` until saturation (within
+    0.5 of n) or *max_rounds*.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be > 0, got {n}")
+    if not 0 <= initial_holders <= n:
+        raise ValueError(f"initial_holders must be in [0, n], got {initial_holders}")
+    curve = [float(initial_holders)]
+    if initial_holders == 0 or n == 1:
+        return curve
+    holders = float(initial_holders)
+    for _ in range(max_rounds):
+        missing = n - holders
+        if missing < 0.5:
+            break
+        hit_probability = holders / (n - 1)
+        holders = holders + missing * hit_probability
+        curve.append(min(holders, float(n)))
+    return curve
+
+
+def pull_epidemic_rounds(n: int, initial_holders: int, coverage: float = 1.0) -> int:
+    """Rounds until the expected holder count reaches ``coverage · n``."""
+    if not 0 < coverage <= 1:
+        raise ValueError(f"coverage must be in (0, 1], got {coverage!r}")
+    target = coverage * n - 0.5
+    curve = pull_epidemic_curve(n, initial_holders)
+    for round_index, holders in enumerate(curve):
+        if holders >= target:
+            return round_index
+    return len(curve)
+
+
+def search_time_estimate(
+    n: int,
+    bufferers: int,
+    one_way_latency: float = 5.0,
+    max_rounds: int = 500,
+) -> float:
+    """Mean-field estimate of the §3.3 search time, in milliseconds.
+
+    Model: the remote request lands on a uniformly-random member.  With
+    probability ``b/n`` that member is a bufferer (search time 0 — the
+    paper's footnote 5).  Otherwise a searcher population grows: each
+    active searcher forwards the request to one random member per RTT;
+    a forward reaches a bufferer with probability ``b/(n-1)`` and ends
+    the search one one-way latency later; a miss recruits the target
+    into the search at the next half-round.
+
+    We track the expected number of searchers ``s_r`` and the survival
+    probability across rounds; the returned value is the expectation of
+    (first-success time + one-way delay for the reply/repair to leave
+    the bufferer), matching how the simulator measures "search time"
+    (request arrival at the region → bufferer serves the repair).
+    """
+    if n <= 1:
+        return 0.0
+    if bufferers < 0:
+        raise ValueError(f"bufferers must be >= 0, got {bufferers}")
+    if bufferers >= n:
+        return 0.0
+    if bufferers == 0:
+        return float("inf")
+    p_direct = bufferers / n
+    rtt = 2.0 * one_way_latency
+    hit = bufferers / (n - 1)
+    expected = 0.0
+    survive = 1.0  # P[search still running | not a direct hit]
+    searchers = 1.0
+    non_bufferers = n - bufferers
+    for round_index in range(max_rounds):
+        # Each searcher forwards once this round; a hit is detected by
+        # the bufferer one one-way latency after the forward.
+        p_found_this_round = 1.0 - (1.0 - hit) ** searchers
+        time_of_service = round_index * rtt + one_way_latency
+        expected += survive * p_found_this_round * time_of_service
+        survive *= 1.0 - p_found_this_round
+        if survive < 1e-9:
+            break
+        # Misses recruit their targets (if not already searching).
+        misses = searchers * (1.0 - hit)
+        recruitable = max(0.0, non_bufferers - searchers)
+        searchers = min(non_bufferers, searchers + misses * recruitable / max(1, n - 1))
+        searchers = max(searchers, 1.0)
+    return (1.0 - p_direct) * expected

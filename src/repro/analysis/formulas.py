@@ -1,0 +1,105 @@
+"""Closed-form results from the paper (§3.1 and §3.2).
+
+These formulas are what the mechanism in :mod:`repro.core` is designed
+around; the experiment suite cross-checks them against Monte-Carlo and
+full-protocol simulation (Figures 3 and 4 are direct plots of them).
+
+* :func:`prob_no_request` — §3.1: the probability that a member holding
+  a message receives *no* local retransmission request in a round,
+  ``(1 - 1/(n-1))^{np}``, which tends to ``e^{-p}`` as n → ∞.
+* :func:`bufferer_pmf_binomial` / :func:`bufferer_pmf_poisson` — §3.2:
+  the number of long-term bufferers is Binomial(n, C/n) ≈ Poisson(C)
+  (Figure 3 plots the Poisson pmf for C ∈ {5, 6, 7, 8}).
+* :func:`prob_no_bufferer` — §3.2/Figure 4: ``e^{-C}`` (0.25 % at
+  C = 6, the paper's example).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def prob_no_request(n: int, p: float) -> float:
+    """P[a holder receives no request] in one recovery round (§3.1, exact).
+
+    Parameters
+    ----------
+    n:
+        Region size; must be at least 2 (with one member there is
+        nobody to request from).
+    p:
+        Fraction of the region missing the message, in [0, 1].  ``np``
+        members each send one request to a uniformly-random other
+        member, so a given holder is spared with probability
+        ``(1 - 1/(n-1))^{np}``.
+    """
+    if n < 2:
+        raise ValueError(f"n must be >= 2, got {n}")
+    if not 0 <= p <= 1:
+        raise ValueError(f"p must be in [0, 1], got {p!r}")
+    return (1.0 - 1.0 / (n - 1)) ** (n * p)
+
+
+def prob_no_request_limit(p: float) -> float:
+    """The large-n limit ``e^{-p}`` of :func:`prob_no_request` (§3.1)."""
+    if not 0 <= p <= 1:
+        raise ValueError(f"p must be in [0, 1], got {p!r}")
+    return math.exp(-p)
+
+
+def bufferer_pmf_binomial(n: int, c: float, k: int) -> float:
+    """P[k long-term bufferers] under the exact Binomial(n, C/n) law (§3.2)."""
+    if n <= 0:
+        raise ValueError(f"n must be > 0, got {n}")
+    if c < 0:
+        raise ValueError(f"c must be >= 0, got {c!r}")
+    if not 0 <= k <= n:
+        return 0.0
+    probability = min(1.0, c / n)
+    return math.comb(n, k) * probability**k * (1.0 - probability) ** (n - k)
+
+
+def bufferer_pmf_poisson(c: float, k: int) -> float:
+    """P[k long-term bufferers] under the Poisson(C) approximation (§3.2).
+
+    This is the law Figure 3 plots: ``e^{-C} C^k / k!``.
+    """
+    if c < 0:
+        raise ValueError(f"c must be >= 0, got {c!r}")
+    if k < 0:
+        return 0.0
+    return math.exp(-c) * c**k / math.factorial(k)
+
+
+def bufferer_distribution_poisson(c: float, max_k: int) -> List[float]:
+    """The Poisson(C) pmf for k = 0..max_k (one Figure 3 curve)."""
+    return [bufferer_pmf_poisson(c, k) for k in range(max_k + 1)]
+
+
+def prob_no_bufferer(c: float) -> float:
+    """P[no member long-term-buffers an idle message] ≈ ``e^{-C}`` (Figure 4)."""
+    if c < 0:
+        raise ValueError(f"c must be >= 0, got {c!r}")
+    return math.exp(-c)
+
+
+def prob_no_bufferer_binomial(n: int, c: float) -> float:
+    """Exact no-bufferer probability ``(1 - C/n)^n`` for a finite region."""
+    if n <= 0:
+        raise ValueError(f"n must be > 0, got {n}")
+    probability = min(1.0, c / n)
+    return (1.0 - probability) ** n
+
+
+def expected_remote_requests(region_size: int, remote_lambda: float) -> float:
+    """Expected remote requests per round when a whole region misses (§2.2).
+
+    Each of the *n* missing members sends with probability λ/n, so the
+    expectation is ``n · min(1, λ/n) = min(n, λ)``.
+    """
+    if region_size <= 0:
+        return 0.0
+    if remote_lambda < 0:
+        raise ValueError(f"remote_lambda must be >= 0, got {remote_lambda!r}")
+    return region_size * min(1.0, remote_lambda / region_size)

@@ -1,0 +1,61 @@
+"""The paper's primary contribution (system S4 in DESIGN.md).
+
+Two-phase buffer management for RRMP:
+
+* :class:`TwoPhaseBufferPolicy` — feedback-based short-term buffering
+  (§3.1) composed with randomized long-term buffering (§3.2);
+* :class:`SearchCoordinator` — the randomized search for bufferers that
+  answers remote requests for already-discarded messages (§3.3);
+* :func:`plan_handoff` — long-term buffer transfer on graceful leave;
+* the :class:`BufferPolicy` interface plus simple baselines
+  (fixed-time, never-discard, no-buffer) used in comparisons.
+"""
+
+from repro.core.buffer import (
+    DISCARD_CLOSE,
+    DISCARD_FIXED,
+    DISCARD_HANDOFF,
+    DISCARD_IDLE,
+    DISCARD_STABLE,
+    DISCARD_TTL,
+    BufferEntry,
+    BufferRecord,
+    MessageBuffer,
+)
+from repro.core.handoff import handoff_load, plan_handoff
+from repro.core.long_term import RandomizedLongTermSelector, long_term_probability
+from repro.core.manager import TwoPhaseBufferPolicy
+from repro.core.policies import (
+    BufferHost,
+    BufferPolicy,
+    FixedTimePolicy,
+    NeverDiscardPolicy,
+    NoBufferPolicy,
+)
+from repro.core.search import SearchCoordinator, SearchHost
+from repro.core.short_term import FeedbackIdleTracker
+
+__all__ = [
+    "BufferEntry",
+    "BufferHost",
+    "BufferPolicy",
+    "BufferRecord",
+    "DISCARD_CLOSE",
+    "DISCARD_FIXED",
+    "DISCARD_HANDOFF",
+    "DISCARD_IDLE",
+    "DISCARD_STABLE",
+    "DISCARD_TTL",
+    "FeedbackIdleTracker",
+    "FixedTimePolicy",
+    "MessageBuffer",
+    "NeverDiscardPolicy",
+    "NoBufferPolicy",
+    "RandomizedLongTermSelector",
+    "SearchCoordinator",
+    "SearchHost",
+    "TwoPhaseBufferPolicy",
+    "handoff_load",
+    "long_term_probability",
+    "plan_handoff",
+]

@@ -1,0 +1,30 @@
+"""Shared helpers for the experiment harness.
+
+Every experiment returns a :class:`repro.metrics.report.SeriesTable`
+whose rows are directly comparable to the corresponding paper figure;
+benchmarks print them and EXPERIMENTS.md quotes them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def seed_list(seeds: int, base: int = 0) -> List[int]:
+    """The canonical seed set for an experiment repetition count."""
+    return [base + i for i in range(seeds)]
+
+
+def mean_over_seeds(fn: Callable[[int], float], seeds: Sequence[int]) -> float:
+    """Average a scalar measurement over seeds."""
+    values = [fn(seed) for seed in seeds]
+    if not values:
+        raise ValueError("mean_over_seeds() with no seeds")
+    return sum(values) / len(values)
+
+
+def collect_over_seeds(fn: Callable[[int], T], seeds: Sequence[int]) -> List[T]:
+    """Run a measurement for each seed and collect the results."""
+    return [fn(seed) for seed in seeds]

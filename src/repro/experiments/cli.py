@@ -1,0 +1,102 @@
+"""Command-line entry point: regenerate paper figures from a terminal.
+
+Usage::
+
+    rrmp-experiments list
+    rrmp-experiments run fig6
+    rrmp-experiments run fig8 --param seeds=25 --param n=50
+    rrmp-experiments all --quick
+
+``--param key=value`` values are parsed as Python literals (numbers,
+tuples, booleans) and passed to the experiment function.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Dict, List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+
+#: Reduced-cost parameter overrides used by ``all --quick`` (and smoke
+#: tests) so the complete suite finishes in seconds.
+QUICK_PARAMS: Dict[str, Dict[str, object]] = {
+    "fig3": {"trials": 2_000},
+    "fig4": {"trials": 2_000},
+    "fig6": {"seeds": 5},
+    "fig7": {},
+    "fig8": {"seeds": 20},
+    "fig9": {"ns": (100, 200, 400, 700, 1000), "seeds": 10},
+    "ablation_c_tradeoff": {"seeds": 10},
+    "ablation_lambda": {"seeds": 10},
+    "ablation_search_vs_multicast": {"seeds": 30},
+    "ablation_policies": {"seeds": 1, "messages": 15},
+    "ablation_hash_vs_random": {"seeds": 15},
+    "ablation_idle_threshold": {"seeds": 8},
+    "ablation_churn_handoff": {"seeds": 10},
+    "ablation_scaling": {"ns": (25, 50, 100, 200), "seeds": 4},
+}
+
+
+def parse_param(text: str) -> tuple:
+    """Parse one ``key=value`` override (value as a Python literal)."""
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(f"--param expects key=value, got {text!r}")
+    key, _, raw = text.partition("=")
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw  # fall back to the raw string
+    return (key.strip(), value)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="rrmp-experiments",
+        description="Regenerate the figures of 'Optimizing Buffer Management "
+                    "for Reliable Multicast' (DSN 2002).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list available experiments")
+    run_parser = commands.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=experiment_ids())
+    run_parser.add_argument(
+        "--param", action="append", default=[], type=parse_param,
+        help="override an experiment parameter, e.g. --param seeds=10",
+    )
+    all_parser = commands.add_parser("all", help="run every experiment")
+    all_parser.add_argument(
+        "--quick", action="store_true",
+        help="use reduced repetition counts (seconds instead of minutes)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        width = max(len(eid) for eid in experiment_ids())
+        for eid in experiment_ids():
+            print(f"{eid.ljust(width)}  {EXPERIMENTS[eid].description}")
+        return 0
+    if args.command == "run":
+        params = dict(args.param)
+        table = run_experiment(args.experiment, **params)
+        print(table.to_text())
+        return 0
+    if args.command == "all":
+        for eid in experiment_ids():
+            params = QUICK_PARAMS.get(eid, {}) if args.quick else {}
+            table = run_experiment(eid, **params)
+            print(table.to_text())
+            print()
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

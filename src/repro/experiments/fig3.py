@@ -1,0 +1,75 @@
+"""Figure 3 — distribution of the number of long-term bufferers.
+
+Paper: "The probability that k members buffer an idle message is
+e^{-C} C^k / k!" — the Poisson(C) approximation of Binomial(n, C/n) —
+plotted for C ∈ {5, 6, 7, 8}.
+
+We regenerate both the analytic curves and a Monte-Carlo estimate that
+exercises the *actual mechanism*
+(:class:`repro.core.long_term.RandomizedLongTermSelector` coin flips
+across a region), so the figure doubles as a validation that the code
+implements the math.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.formulas import bufferer_pmf_poisson
+from repro.core.long_term import RandomizedLongTermSelector
+from repro.metrics.report import SeriesTable
+from repro.sim import RandomStreams, Simulator
+
+
+def sample_bufferer_counts(
+    n: int, c: float, trials: int, seed: int = 0
+) -> list:
+    """Monte-Carlo: per trial, flip the §3.2 coin at each of *n* members."""
+    streams = RandomStreams(seed)
+    sim = Simulator()
+    selector = RandomizedLongTermSelector(
+        sim, streams.stream("fig3", "coins"), expected_bufferers=c
+    )
+    counts = []
+    for _ in range(trials):
+        counts.append(sum(1 for _member in range(n) if selector.decide(n)))
+    return counts
+
+
+def run_fig3(
+    cs: Sequence[float] = (5.0, 6.0, 7.0, 8.0),
+    n: int = 100,
+    max_k: int = 20,
+    trials: int = 20_000,
+    seed: int = 0,
+    simulate_c: float = 6.0,
+) -> SeriesTable:
+    """Regenerate Figure 3.
+
+    Columns: analytic Poisson pmf (%) per C, plus the Monte-Carlo
+    estimate for ``simulate_c`` from the real coin-flip mechanism on an
+    *n*-member region.
+    """
+    table = SeriesTable(
+        title=f"Figure 3 — P[k long-term bufferers] (%), region n={n}",
+        x_label="k",
+        xs=list(range(max_k + 1)),
+    )
+    for c in cs:
+        table.add_series(
+            f"analytic C={c:g}",
+            [100.0 * bufferer_pmf_poisson(c, k) for k in range(max_k + 1)],
+        )
+    counts = sample_bufferer_counts(n, simulate_c, trials, seed=seed)
+    histogram = [0] * (max_k + 1)
+    for count in counts:
+        if count <= max_k:
+            histogram[count] += 1
+    table.add_series(
+        f"simulated C={simulate_c:g} (n={n}, {trials} trials)",
+        [100.0 * h / trials for h in histogram],
+    )
+    table.notes.append(
+        "paper: peak probability ~15-18% at k≈C, curves shift right as C grows"
+    )
+    return table

@@ -1,0 +1,81 @@
+"""Registry of all reproducible experiments.
+
+Each entry maps an experiment id (the DESIGN.md index) to the callable
+that regenerates it and a one-line description.  The CLI and the
+benchmark harness both resolve experiments through this table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments.ablation_c import run_c_tradeoff
+from repro.experiments.ablation_churn import run_churn_handoff
+from repro.experiments.ablation_hash import run_hash_vs_random
+from repro.experiments.ablation_idle import run_idle_threshold
+from repro.experiments.ablation_lambda import run_lambda_sweep
+from repro.experiments.ablation_policies import run_policy_comparison
+from repro.experiments.ablation_scaling import run_scaling
+from repro.experiments.ablation_search_storm import run_search_vs_multicast
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.metrics.report import SeriesTable
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    experiment_id: str
+    description: str
+    run: Callable[..., SeriesTable]
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    experiment.experiment_id: experiment
+    for experiment in [
+        Experiment("fig3", "P[k long-term bufferers] for C in {5..8} (Poisson)", run_fig3),
+        Experiment("fig4", "P[no long-term bufferer] vs C (e^-C)", run_fig4),
+        Experiment("fig6", "feedback buffering time vs #initial holders", run_fig6),
+        Experiment("fig7", "#received vs #buffered over time (k=1)", run_fig7),
+        Experiment("fig8", "search time vs #bufferers (n=100)", run_fig8),
+        Experiment("fig9", "search time vs region size (10 bufferers)", run_fig9),
+        Experiment("ablation_c_tradeoff", "C: buffer copies vs late recovery", run_c_tradeoff),
+        Experiment("ablation_lambda", "lambda: WAN duplicates vs regional recovery",
+                   run_lambda_sweep),
+        Experiment("ablation_search_vs_multicast",
+                   "randomized search vs multicast-request reply storms",
+                   run_search_vs_multicast),
+        Experiment("ablation_policies", "two-phase vs all baseline policies",
+                   run_policy_comparison),
+        Experiment("ablation_hash_vs_random",
+                   "randomized vs deterministic bufferer selection (3.4)",
+                   run_hash_vs_random),
+        Experiment("ablation_idle_threshold", "sensitivity to idle threshold T",
+                   run_idle_threshold),
+        Experiment("ablation_churn_handoff", "graceful handoff vs crash under churn",
+                   run_churn_handoff),
+        Experiment("ablation_scaling", "per-member costs as the region grows",
+                   run_scaling),
+    ]
+}
+
+
+def experiment_ids() -> List[str]:
+    """All registered experiment ids, figures first."""
+    return list(EXPERIMENTS.keys())
+
+
+def run_experiment(experiment_id: str, **params: object) -> SeriesTable:
+    """Run a registered experiment by id with optional overrides."""
+    try:
+        experiment = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(experiment_ids())
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    return experiment.run(**params)

@@ -1,0 +1,118 @@
+"""Deterministic hash-based bufferer selection (baseline; paper ref [11]).
+
+The authors' earlier scheme (Ozkasap, van Renesse, Birman, Xiao —
+"Efficient buffering in reliable multicast protocols", NGC 1999):
+every member applies a hash to ``(its network address, the message id)``
+and buffers the message iff the hash selects it.  A member missing the
+message applies the *same* hash to every address it knows, obtaining
+the bufferer set directly — no search traffic, at the cost of O(n) hash
+evaluations (§3.4 frames the trade-off as network traffic vs
+computation overhead).
+
+§3.4 also notes the drawback RRMP's randomized scheme fixes: a
+deterministic mapping cannot re-home a leaver's buffering duty ("It is
+not clear how this can be done with a deterministic algorithm"), which
+the churn experiments demonstrate.
+
+The hash is SHA-256 based, so selection is stable across processes and
+platforms — a property the original relies on (requester and bufferer
+must agree without communicating).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional, Sequence
+
+from repro.core.policies import BufferPolicy
+from repro.net.topology import NodeId
+from repro.protocol.messages import DataMessage, Seq
+
+#: Number of hash evaluations performed, by consumer label.  The §3.4
+#: "computation overhead" metric; reset per experiment via
+#: :func:`reset_hash_counter`.
+_HASH_EVALUATIONS = {"total": 0}
+
+
+def reset_hash_counter() -> None:
+    """Zero the global hash-evaluation counter (per-experiment)."""
+    _HASH_EVALUATIONS["total"] = 0
+
+
+def hash_evaluations() -> int:
+    """Hash evaluations since the last reset."""
+    return _HASH_EVALUATIONS["total"]
+
+
+def hash_unit(member: NodeId, seq: Seq) -> float:
+    """Uniform-[0,1) hash of (member address, message id)."""
+    _HASH_EVALUATIONS["total"] += 1
+    digest = hashlib.sha256(f"bufferer:{member}:{seq}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def is_selected(member: NodeId, seq: Seq, expected_bufferers: float, region_size: int) -> bool:
+    """Whether the hash selects *member* to buffer message *seq*.
+
+    Threshold C/n, mirroring the randomized scheme's expectation so the
+    two policies hold the same expected number of copies.
+    """
+    if region_size <= 0:
+        return False
+    threshold = min(1.0, expected_bufferers / region_size)
+    return hash_unit(member, seq) < threshold
+
+
+def bufferers_for(
+    seq: Seq,
+    members: Sequence[NodeId],
+    expected_bufferers: float,
+) -> List[NodeId]:
+    """The full bufferer set for *seq* — what a requester computes.
+
+    Costs one hash evaluation per known member (the §3.4 computation
+    overhead); returns members in hash order so requesters probe the
+    same bufferer first and requests coalesce.
+    """
+    region_size = len(members)
+    selected = [
+        (hash_unit(member, seq), member)
+        for member in members
+    ]
+    threshold = min(1.0, expected_bufferers / region_size) if region_size else 0.0
+    chosen = sorted((unit, member) for unit, member in selected if unit < threshold)
+    return [member for _unit, member in chosen]
+
+
+class HashBuffererPolicy(BufferPolicy):
+    """Buffer a message iff the deterministic hash selects this member.
+
+    Selected members keep the message for the whole session (the NGC'99
+    scheme has no feedback phase); unselected members do not buffer at
+    all, so they cannot serve even fresh local requests — the trade-off
+    against RRMP's short-term phase shows up as longer local-recovery
+    latency in the comparison experiments.
+    """
+
+    def __init__(self, expected_bufferers: float = 6.0) -> None:
+        super().__init__()
+        if expected_bufferers < 0:
+            raise ValueError(f"expected_bufferers must be >= 0, got {expected_bufferers!r}")
+        self.expected_bufferers = expected_bufferers
+
+    def on_receive(self, data: DataMessage) -> None:
+        now = self.host.sim.now
+        if data.seq in self.buffer:
+            return
+        if is_selected(self.host.node_id, data.seq, self.expected_bufferers,
+                       self.host.region_size()):
+            self.buffer.add(data, now)
+            self.host.trace.emit(now, "buffer_add", node=self.host.node_id, seq=data.seq)
+
+    def locate_bufferers(self, seq: Seq, members: Sequence[NodeId]) -> List[NodeId]:
+        """Requester-side direct lookup of the bufferer set (§3.4).
+
+        The member state machine consults this instead of running the
+        randomized search when the policy provides it.
+        """
+        return bufferers_for(seq, members, self.expected_bufferers)

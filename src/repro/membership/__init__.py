@@ -1,0 +1,33 @@
+"""Membership dynamics substrate (system S8 in DESIGN.md).
+
+Gossip-style failure detection (ref [13]), scripted and random churn
+schedules, and approximate (stale) membership views.
+"""
+
+from repro.membership.churn import (
+    EVENT_CRASH,
+    EVENT_JOIN,
+    EVENT_LEAVE,
+    ChurnEvent,
+    ChurnSchedule,
+    random_churn,
+)
+from repro.membership.failure_detector import (
+    GossipFailureDetector,
+    HeartbeatGossip,
+    attach_failure_detectors,
+)
+from repro.membership.view import StaleView
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnSchedule",
+    "EVENT_CRASH",
+    "EVENT_JOIN",
+    "EVENT_LEAVE",
+    "GossipFailureDetector",
+    "HeartbeatGossip",
+    "StaleView",
+    "attach_failure_detectors",
+    "random_churn",
+]

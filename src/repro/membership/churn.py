@@ -1,0 +1,132 @@
+"""Join/leave/crash schedules for membership-dynamics experiments.
+
+The paper's §3.2 motivates the handoff rule with churn: "Receivers may
+join or leave a multicast session dynamically."  :class:`ChurnSchedule`
+scripts membership events against a running
+:class:`~repro.protocol.rrmp.RrmpSimulation`:
+
+* **leave** — graceful: the member hands its long-term buffer to
+  random peers before departing;
+* **crash** — fail-stop: no handoff, buffered state is lost (the risk
+  the handoff rule cannot cover);
+* **join** — a fresh member enters a region mid-session.
+
+:func:`random_churn` generates a schedule with exponential inter-event
+times for soak-style tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.net.topology import NodeId, RegionId
+from repro.protocol.rrmp import RrmpSimulation
+
+EVENT_LEAVE = "leave"
+EVENT_CRASH = "crash"
+EVENT_JOIN = "join"
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scripted membership change."""
+
+    time: float
+    action: str  # EVENT_LEAVE | EVENT_CRASH | EVENT_JOIN
+    node: Optional[NodeId] = None      # for leave/crash
+    region: Optional[RegionId] = None  # for join
+
+    def __post_init__(self) -> None:
+        if self.action not in (EVENT_LEAVE, EVENT_CRASH, EVENT_JOIN):
+            raise ValueError(f"unknown churn action {self.action!r}")
+        if self.action in (EVENT_LEAVE, EVENT_CRASH) and self.node is None:
+            raise ValueError(f"{self.action} event requires a node")
+        if self.action == EVENT_JOIN and self.region is None:
+            raise ValueError("join event requires a region")
+
+
+class ChurnSchedule:
+    """Applies a list of :class:`ChurnEvent` to a simulation."""
+
+    def __init__(self, simulation: RrmpSimulation, events: Sequence[ChurnEvent]) -> None:
+        self.simulation = simulation
+        self.events = sorted(events, key=lambda event: event.time)
+        self.applied: List[ChurnEvent] = []
+        for event in self.events:
+            simulation.sim.at(event.time, self._apply, event)
+
+    def _apply(self, event: ChurnEvent) -> None:
+        if event.action == EVENT_JOIN:
+            assert event.region is not None
+            self.simulation.add_member(event.region)
+        else:
+            assert event.node is not None
+            member = self.simulation.members.get(event.node)
+            if member is None or not member.alive:
+                return  # already gone; schedule was optimistic
+            if event.action == EVENT_LEAVE:
+                member.leave()
+            else:
+                member.crash()
+        self.applied.append(event)
+
+
+def random_churn(
+    simulation: RrmpSimulation,
+    rng: random.Random,
+    duration: float,
+    leave_rate: float = 0.0,
+    crash_rate: float = 0.0,
+    join_rate: float = 0.0,
+    protect: Sequence[NodeId] = (),
+) -> ChurnSchedule:
+    """Generate and install Poisson churn over ``[0, duration]``.
+
+    Rates are events per millisecond.  ``protect`` lists nodes that
+    never leave or crash (typically the sender).  Leave/crash victims
+    are drawn lazily at event time from the then-alive membership, so
+    generated events compose correctly with each other.
+    """
+    events: List[ChurnEvent] = []
+
+    def times(rate: float) -> List[float]:
+        result, t = [], 0.0
+        if rate <= 0:
+            return result
+        while True:
+            t += rng.expovariate(rate)
+            if t >= duration:
+                return result
+            result.append(t)
+
+    protected = set(protect)
+
+    def pick_victim() -> Optional[NodeId]:
+        alive = [m.node_id for m in simulation.alive_members()
+                 if m.node_id not in protected]
+        return rng.choice(alive) if alive else None
+
+    # Leave/crash events resolve their victim at fire time through a
+    # wrapper event, so we install them directly on the engine.
+    schedule = ChurnSchedule(simulation, [])
+
+    def fire(action: str) -> None:
+        victim = pick_victim()
+        if victim is None:
+            return
+        event = ChurnEvent(time=simulation.sim.now, action=action, node=victim)
+        schedule._apply(event)
+
+    for t in times(leave_rate):
+        simulation.sim.at(t, fire, EVENT_LEAVE)
+    for t in times(crash_rate):
+        simulation.sim.at(t, fire, EVENT_CRASH)
+    region_ids = sorted(simulation.hierarchy.regions)
+    for t in times(join_rate):
+        region = rng.choice(region_ids)
+        simulation.sim.at(
+            t, schedule._apply, ChurnEvent(time=t, action=EVENT_JOIN, region=region)
+        )
+    return schedule

@@ -1,0 +1,63 @@
+"""Approximate membership views (paper §1, footnote 1).
+
+RRMP only assumes "each member has an approximation of the entire
+membership … The approximation need not be accurate, but it should be
+of good enough quality so that the probability of the group being
+logically partitioned into disconnected subgroups is negligible."
+
+The protocol normally queries the live hierarchy; :class:`StaleView`
+wraps a member list with bounded staleness so tests and experiments can
+check that recovery still converges when views lag churn (removed
+members linger in the view; joiners appear late).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.net.topology import NodeId
+from repro.sim import Simulator
+
+
+class StaleView:
+    """A membership view refreshed at most every ``refresh_interval`` ms.
+
+    Between refreshes the view returns a frozen snapshot, emulating a
+    member whose knowledge of the region lags reality.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        source: Callable[[], Sequence[NodeId]],
+        refresh_interval: float,
+    ) -> None:
+        if refresh_interval < 0:
+            raise ValueError(f"refresh_interval must be >= 0, got {refresh_interval!r}")
+        self._sim = sim
+        self._source = source
+        self.refresh_interval = refresh_interval
+        self._snapshot: List[NodeId] = list(source())
+        self._snapshot_time = sim.now
+
+    def members(self) -> List[NodeId]:
+        """The (possibly stale) member list."""
+        if self._sim.now - self._snapshot_time >= self.refresh_interval:
+            self.refresh()
+        return list(self._snapshot)
+
+    def refresh(self) -> None:
+        """Force a resynchronisation with the live source."""
+        self._snapshot = list(self._source())
+        self._snapshot_time = self._sim.now
+
+    @property
+    def staleness(self) -> float:
+        """Milliseconds since the snapshot was taken."""
+        return self._sim.now - self._snapshot_time
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._snapshot
+
+    def __len__(self) -> int:
+        return len(self._snapshot)

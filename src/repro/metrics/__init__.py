@@ -1,0 +1,26 @@
+"""Measurement utilities (system S10 in DESIGN.md).
+
+Descriptive statistics, step time series driven by trace records,
+buffer-occupancy probes and plain-text table rendering used by the
+experiment harness.
+"""
+
+from repro.metrics.occupancy import OccupancyProbe, occupancy_balance, occupancy_summary
+from repro.metrics.report import SeriesTable, format_cell, render_table
+from repro.metrics.stats import Summary, mean, percentile, stdev
+from repro.metrics.timeseries import StepSeries, TraceCounter
+
+__all__ = [
+    "OccupancyProbe",
+    "SeriesTable",
+    "StepSeries",
+    "Summary",
+    "TraceCounter",
+    "format_cell",
+    "mean",
+    "occupancy_balance",
+    "occupancy_summary",
+    "percentile",
+    "render_table",
+    "stdev",
+]

@@ -1,0 +1,121 @@
+"""IP-multicast outcome models (which receivers the initial multicast reaches).
+
+The paper's §4 evaluation "simulate[s] the outcome of an IP multicast by
+randomly selecting a subset of members to hold a message initially".
+:class:`MulticastOutcome` captures that abstraction: given a message and
+the group, it returns the set of receivers the unreliable IP multicast
+actually reaches.  Everything downstream (loss detection, recovery,
+buffering) is the protocol's job.
+
+This is the documented substitution for real IP multicast: we model the
+*per-receiver outcome distribution* rather than routers and DVMRP trees,
+which is exactly the fidelity level the paper itself evaluates at.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterable, Optional, Sequence, Set
+
+from repro.net.topology import Hierarchy, NodeId
+
+
+class MulticastOutcome(ABC):
+    """Strategy deciding which group members receive an IP multicast."""
+
+    @abstractmethod
+    def holders(self, seq: int, group: Sequence[NodeId], rng: random.Random) -> Set[NodeId]:
+        """Receivers that get message *seq* from the initial multicast."""
+
+
+class PerfectOutcome(MulticastOutcome):
+    """Every member receives every multicast (no initial loss)."""
+
+    def holders(self, seq: int, group: Sequence[NodeId], rng: random.Random) -> Set[NodeId]:
+        return set(group)
+
+
+class FixedHolders(MulticastOutcome):
+    """An explicit holder set, the same for every message (tests)."""
+
+    def __init__(self, holders: Iterable[NodeId]) -> None:
+        self._holders = set(holders)
+
+    def holders(self, seq: int, group: Sequence[NodeId], rng: random.Random) -> Set[NodeId]:
+        return self._holders & set(group)
+
+
+class FixedHolderCount(MulticastOutcome):
+    """Exactly *k* uniformly-chosen members hold each message.
+
+    This is the paper's Figure 6/7 workload generator ("randomly
+    selecting a subset of members to hold a message initially").
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 0:
+            raise ValueError(f"k must be >= 0, got {k}")
+        self.k = k
+
+    def holders(self, seq: int, group: Sequence[NodeId], rng: random.Random) -> Set[NodeId]:
+        members = list(group)
+        if self.k >= len(members):
+            return set(members)
+        return set(rng.sample(members, self.k))
+
+
+class BernoulliOutcome(MulticastOutcome):
+    """Each receiver independently misses a message with ``loss_rate``."""
+
+    def __init__(self, loss_rate: float) -> None:
+        if not 0 <= loss_rate <= 1:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate!r}")
+        self.loss_rate = loss_rate
+
+    def holders(self, seq: int, group: Sequence[NodeId], rng: random.Random) -> Set[NodeId]:
+        return {member for member in group if rng.random() >= self.loss_rate}
+
+
+class RegionCorrelatedOutcome(MulticastOutcome):
+    """Whole regions miss a message with ``region_loss`` (a *regional
+    loss*, repairable only via remote recovery); surviving regions lose
+    receivers independently with ``receiver_loss`` (*local losses*).
+
+    The sender's region never suffers a regional loss: the sender holds
+    its own message, so at least one copy exists in that region.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        region_loss: float = 0.0,
+        receiver_loss: float = 0.0,
+        sender: Optional[NodeId] = None,
+    ) -> None:
+        for name, p in (("region_loss", region_loss), ("receiver_loss", receiver_loss)):
+            if not 0 <= p <= 1:
+                raise ValueError(f"{name} must be in [0, 1], got {p!r}")
+        self.hierarchy = hierarchy
+        self.region_loss = region_loss
+        self.receiver_loss = receiver_loss
+        self.sender = sender
+
+    def holders(self, seq: int, group: Sequence[NodeId], rng: random.Random) -> Set[NodeId]:
+        sender_region = (
+            self.hierarchy.region_id_of(self.sender) if self.sender is not None else None
+        )
+        lost_regions = set()
+        for region_id in sorted(self.hierarchy.regions):
+            if region_id == sender_region:
+                continue
+            if rng.random() < self.region_loss:
+                lost_regions.add(region_id)
+        result: Set[NodeId] = set()
+        for member in group:
+            if self.hierarchy.region_id_of(member) in lost_regions:
+                continue
+            if member != self.sender and rng.random() < self.receiver_loss:
+                continue
+            result.add(member)
+        return result

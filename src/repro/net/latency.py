@@ -1,0 +1,117 @@
+"""Latency models: one-way delays between nodes.
+
+The paper's §4 evaluation fixes the round-trip time between any two
+members of a region at 10 ms, i.e. 5 ms one-way
+(:class:`HierarchicalLatency` with the default ``intra_one_way=5.0``).
+Inter-region latency "can be much larger than the latency within a
+region" (§3.2); the hierarchical model scales one-way delay with the
+region-hop distance so WAN experiments exhibit exactly that gap.
+
+Protocol timers use :meth:`LatencyModel.rtt`, mirroring the paper's
+"sets a timer according to its estimated round trip time".
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Tuple
+
+from repro.net.topology import Hierarchy, NodeId
+
+
+class LatencyModel(ABC):
+    """One-way latency between a source and destination node, in ms."""
+
+    @abstractmethod
+    def one_way(self, src: NodeId, dst: NodeId) -> float:
+        """One-way delay for a packet from *src* to *dst*."""
+
+    def rtt(self, src: NodeId, dst: NodeId) -> float:
+        """Round-trip estimate used for protocol timers."""
+        return self.one_way(src, dst) + self.one_way(dst, src)
+
+
+class ConstantLatency(LatencyModel):
+    """The same one-way delay between every pair of nodes."""
+
+    def __init__(self, one_way_ms: float = 5.0) -> None:
+        if one_way_ms < 0:
+            raise ValueError(f"latency must be >= 0, got {one_way_ms!r}")
+        self.one_way_ms = one_way_ms
+
+    def one_way(self, src: NodeId, dst: NodeId) -> float:
+        return self.one_way_ms
+
+
+class HierarchicalLatency(LatencyModel):
+    """Latency scaling with the hierarchy distance between regions.
+
+    * same region: ``intra_one_way`` (default 5 ms → 10 ms RTT, §4);
+    * different regions: ``inter_one_way`` per region hop, so a request
+      to the parent region costs one hop and recovery across the tree
+      costs proportionally more.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        intra_one_way: float = 5.0,
+        inter_one_way: float = 40.0,
+    ) -> None:
+        if intra_one_way < 0 or inter_one_way < 0:
+            raise ValueError("latencies must be >= 0")
+        self.hierarchy = hierarchy
+        self.intra_one_way = intra_one_way
+        self.inter_one_way = inter_one_way
+
+    def one_way(self, src: NodeId, dst: NodeId) -> float:
+        hops = self.hierarchy.region_distance(src, dst)
+        if hops == 0:
+            return self.intra_one_way
+        return self.inter_one_way * hops
+
+
+class JitteredLatency(LatencyModel):
+    """Wrap a base model with multiplicative uniform jitter.
+
+    Each packet's delay is ``base * U(1 - jitter, 1 + jitter)`` drawn
+    from a dedicated RNG stream, modelling queueing variance without
+    changing timer estimates (``rtt`` still reports the base value, as a
+    real protocol's smoothed estimator would).
+    """
+
+    def __init__(self, base: LatencyModel, jitter: float, rng: random.Random) -> None:
+        if not 0 <= jitter < 1:
+            raise ValueError(f"jitter must be in [0, 1), got {jitter!r}")
+        self.base = base
+        self.jitter = jitter
+        self._rng = rng
+
+    def one_way(self, src: NodeId, dst: NodeId) -> float:
+        factor = self._rng.uniform(1 - self.jitter, 1 + self.jitter)
+        return self.base.one_way(src, dst) * factor
+
+    def rtt(self, src: NodeId, dst: NodeId) -> float:
+        return self.base.rtt(src, dst)
+
+
+class PairwiseLatency(LatencyModel):
+    """Explicit per-pair one-way latencies, with a default for the rest.
+
+    Useful for adversarial topologies in tests (one distant straggler in
+    an otherwise tight region).
+    """
+
+    def __init__(self, default_one_way: float = 5.0) -> None:
+        self.default_one_way = default_one_way
+        self._pairs: Dict[Tuple[NodeId, NodeId], float] = {}
+
+    def set_pair(self, src: NodeId, dst: NodeId, one_way_ms: float, symmetric: bool = True) -> None:
+        """Set the delay for *src*→*dst* (and the reverse if symmetric)."""
+        self._pairs[(src, dst)] = one_way_ms
+        if symmetric:
+            self._pairs[(dst, src)] = one_way_ms
+
+    def one_way(self, src: NodeId, dst: NodeId) -> float:
+        return self._pairs.get((src, dst), self.default_one_way)

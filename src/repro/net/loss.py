@@ -1,0 +1,160 @@
+"""Packet-loss models.
+
+The paper's §4 simulations assume "retransmission requests and repairs
+are not lost" and model loss only at initial IP-multicast time, but the
+protocol itself must tolerate arbitrary loss, so the transport accepts a
+pluggable :class:`LossModel` consulted per (src, dst, kind) delivery.
+
+``kind`` is the packet classification from :mod:`repro.net.packet`
+(``"data"``, ``"control"`` …), letting a model drop data while keeping
+control traffic reliable — exactly the paper's evaluation assumption.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Set, Tuple
+
+from repro.net.topology import Hierarchy, NodeId
+
+
+class LossModel(ABC):
+    """Decides, per delivery attempt, whether a packet is dropped."""
+
+    @abstractmethod
+    def is_lost(self, src: NodeId, dst: NodeId, kind: str, rng: random.Random) -> bool:
+        """Return ``True`` to drop the packet from *src* to *dst*."""
+
+
+class NoLoss(LossModel):
+    """A perfectly reliable network (the §4 control-plane assumption)."""
+
+    def is_lost(self, src: NodeId, dst: NodeId, kind: str, rng: random.Random) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Independent loss with a fixed probability per delivery.
+
+    ``kinds`` restricts which packet kinds are droppable (default: only
+    ``"data"``, preserving the paper's reliable-control assumption).
+    """
+
+    def __init__(self, probability: float, kinds: Optional[Set[str]] = None) -> None:
+        if not 0 <= probability <= 1:
+            raise ValueError(f"probability must be in [0, 1], got {probability!r}")
+        self.probability = probability
+        self.kinds = {"data"} if kinds is None else set(kinds)
+
+    def is_lost(self, src: NodeId, dst: NodeId, kind: str, rng: random.Random) -> bool:
+        if kind not in self.kinds:
+            return False
+        return rng.random() < self.probability
+
+
+class ReceiverSetLoss(LossModel):
+    """Drop packets destined to an explicit set of receivers.
+
+    Deterministic; used by tests to script exact loss patterns.
+    """
+
+    def __init__(self, lost_receivers: Set[NodeId], kinds: Optional[Set[str]] = None) -> None:
+        self.lost_receivers = set(lost_receivers)
+        self.kinds = {"data"} if kinds is None else set(kinds)
+
+    def is_lost(self, src: NodeId, dst: NodeId, kind: str, rng: random.Random) -> bool:
+        return kind in self.kinds and dst in self.lost_receivers
+
+
+class RegionCorrelatedLoss(LossModel):
+    """Loss correlated within regions (models a lossy upstream link).
+
+    With probability ``region_loss`` an entire region loses the packet
+    (a *regional loss* in the paper's terminology — recoverable only via
+    remote recovery); independently, each receiver additionally loses it
+    with probability ``receiver_loss`` (a *local loss*).
+
+    The per-region coin is flipped once per (src-burst, region) pair the
+    first time any member of that region is evaluated, then cached until
+    :meth:`new_message` resets it; the transport calls ``new_message``
+    before each multicast fan-out.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        region_loss: float = 0.0,
+        receiver_loss: float = 0.0,
+        kinds: Optional[Set[str]] = None,
+    ) -> None:
+        for name, p in (("region_loss", region_loss), ("receiver_loss", receiver_loss)):
+            if not 0 <= p <= 1:
+                raise ValueError(f"{name} must be in [0, 1], got {p!r}")
+        self.hierarchy = hierarchy
+        self.region_loss = region_loss
+        self.receiver_loss = receiver_loss
+        self.kinds = {"data"} if kinds is None else set(kinds)
+        self._region_outcome: Dict[int, bool] = {}
+
+    def new_message(self) -> None:
+        """Reset cached per-region outcomes for the next multicast."""
+        self._region_outcome.clear()
+
+    def is_lost(self, src: NodeId, dst: NodeId, kind: str, rng: random.Random) -> bool:
+        if kind not in self.kinds:
+            return False
+        region_id = self.hierarchy.region_id_of(dst)
+        region_lost = self._region_outcome.get(region_id)
+        if region_lost is None:
+            region_lost = rng.random() < self.region_loss
+            self._region_outcome[region_id] = region_lost
+        if region_lost:
+            return True
+        return rng.random() < self.receiver_loss
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state (good/bad) bursty loss per directed link.
+
+    Classic Gilbert–Elliott channel: in the *good* state packets drop
+    with ``p_good`` (usually ~0), in the *bad* state with ``p_bad``;
+    the state flips per packet with transition probabilities
+    ``p_good_to_bad`` and ``p_bad_to_good``.  Models the bursty loss that
+    motivates buffering a message until the *burst* has been repaired,
+    not just the first request.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.3,
+        p_good: float = 0.0,
+        p_bad: float = 0.5,
+        kinds: Optional[Set[str]] = None,
+    ) -> None:
+        for name, p in (
+            ("p_good_to_bad", p_good_to_bad),
+            ("p_bad_to_good", p_bad_to_good),
+            ("p_good", p_good),
+            ("p_bad", p_bad),
+        ):
+            if not 0 <= p <= 1:
+                raise ValueError(f"{name} must be in [0, 1], got {p!r}")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.p_good = p_good
+        self.p_bad = p_bad
+        self.kinds = {"data"} if kinds is None else set(kinds)
+        self._bad_state: Dict[Tuple[NodeId, NodeId], bool] = {}
+
+    def is_lost(self, src: NodeId, dst: NodeId, kind: str, rng: random.Random) -> bool:
+        if kind not in self.kinds:
+            return False
+        link = (src, dst)
+        bad = self._bad_state.get(link, False)
+        flip = self.p_bad_to_good if bad else self.p_good_to_bad
+        if rng.random() < flip:
+            bad = not bad
+        self._bad_state[link] = bad
+        return rng.random() < (self.p_bad if bad else self.p_good)

@@ -1,0 +1,109 @@
+"""RRMP protocol and buffer-management configuration.
+
+One dataclass gathers every tunable the paper names, with defaults set
+to the values used in the paper's §4 evaluation:
+
+* intra-region RTT 10 ms (set in the latency model, not here);
+* idle threshold ``T = 40 ms`` ("4 times the maximum round trip time");
+* expected long-term bufferers ``C`` (Figures 3/4 study C ∈ 1..8; the
+  paper's example "when C = 6 … the probability is only 0.25%" makes 6
+  the natural default);
+* expected remote requests per round ``λ = 1`` (§2.2's example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RrmpConfig:
+    """Tunable parameters for RRMP error recovery and buffering."""
+
+    #: Expected number of remote requests sent by a region per remote
+    #: round when the entire region missed a message (λ in §2.2).  Each
+    #: missing member sends with probability λ/n.
+    remote_lambda: float = 1.0
+
+    #: Expected number of long-term bufferers per region (C in §3.2).
+    #: When a message goes idle each member keeps it with probability
+    #: C/n.  C = 0 disables long-term buffering entirely.
+    long_term_c: float = 6.0
+
+    #: Idle threshold T (§3.1): a buffered message is discarded (or
+    #: promoted to long-term) once no request for it has arrived for
+    #: this many milliseconds.  Paper value: 40 ms = 4 × max RTT.
+    idle_threshold: float = 40.0
+
+    #: Multiplier applied to the RTT estimate when arming request
+    #: timers ("sets a timer according to its estimated round trip
+    #: time"; 1.0 reproduces the paper's Figure 5 walkthrough).
+    timer_factor: float = 1.0
+
+    #: Interval between sender session messages (§2.1); ``None``
+    #: disables them (single-burst experiments detect losses directly).
+    session_interval: Optional[float] = 50.0
+
+    #: Optional eventual discard of long-term-buffered messages: drop a
+    #: long-term entry once unused for this long ("eventually even a
+    #: long-term bufferer may decide to discard an idle message",
+    #: §3.2).  ``None`` keeps long-term entries forever.
+    long_term_ttl: Optional[float] = None
+
+    #: Maximum random back-off before re-multicasting a remote repair in
+    #: the local region, used to suppress duplicate regional multicasts
+    #: (§2.2 mentions this trades latency for duplicate suppression).
+    #: ``None`` multicasts immediately (the paper's default behaviour).
+    regional_backoff_max: Optional[float] = None
+
+    #: Whether remote requests and search requests also refresh the
+    #: short-term idle timer.  Any request is evidence the message is
+    #: still needed, so the default is ``True``.
+    refresh_on_remote_request: bool = True
+    refresh_on_search_request: bool = True
+
+    #: Give-up deadline for a recovery, measured from loss detection;
+    #: crossing it records a reliability violation (§5 discusses the
+    #: small residual violation probability).  ``None`` retries forever.
+    max_recovery_time: Optional[float] = None
+
+    #: Safety valve for degenerate configurations (e.g. nobody buffers
+    #: a message): stop a search after this many locally-initiated
+    #: rounds.  ``None`` searches as long as requests keep failing.
+    max_search_rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.remote_lambda < 0:
+            raise ValueError(f"remote_lambda must be >= 0, got {self.remote_lambda!r}")
+        if self.long_term_c < 0:
+            raise ValueError(f"long_term_c must be >= 0, got {self.long_term_c!r}")
+        if self.idle_threshold <= 0:
+            raise ValueError(f"idle_threshold must be > 0, got {self.idle_threshold!r}")
+        if self.timer_factor <= 0:
+            raise ValueError(f"timer_factor must be > 0, got {self.timer_factor!r}")
+        if self.session_interval is not None and self.session_interval <= 0:
+            raise ValueError("session_interval must be > 0 or None")
+        if self.long_term_ttl is not None and self.long_term_ttl <= 0:
+            raise ValueError("long_term_ttl must be > 0 or None")
+        if self.regional_backoff_max is not None and self.regional_backoff_max < 0:
+            raise ValueError("regional_backoff_max must be >= 0 or None")
+        if self.max_recovery_time is not None and self.max_recovery_time <= 0:
+            raise ValueError("max_recovery_time must be > 0 or None")
+        if self.max_search_rounds is not None and self.max_search_rounds <= 0:
+            raise ValueError("max_search_rounds must be > 0 or None")
+
+    def with_overrides(self, **changes: object) -> "RrmpConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: Configuration matching the paper's §4 simulation setup: T = 40 ms,
+#: no session messages (losses are detected simultaneously at t = 0),
+#: long-term buffering disabled so Figure 6/7 measure pure short-term
+#: (feedback-based) buffering behaviour.
+PAPER_SECTION4_CONFIG = RrmpConfig(
+    long_term_c=0.0,
+    idle_threshold=40.0,
+    session_interval=None,
+)

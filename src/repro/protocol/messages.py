@@ -1,0 +1,146 @@
+"""RRMP wire messages.
+
+All messages are small frozen dataclasses.  ``kind`` drives the loss
+model (``"data"`` packets carry message bodies; ``"control"`` packets
+are requests/replies/session messages — the traffic the paper assumes
+is never lost in §4).  ``wire_size`` feeds traffic-overhead accounting.
+
+Because RRMP is a single-sender protocol (§2), a message is identified
+by its sequence number alone; the general ``[source address, sequence
+number]`` identifier from the paper's footnote degenerates to ``seq``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.net.packet import KIND_CONTROL, KIND_DATA
+from repro.net.topology import NodeId
+
+Seq = int
+
+#: Nominal wire sizes (bytes) used for overhead accounting.
+DATA_WIRE_SIZE = 1024
+CONTROL_WIRE_SIZE = 64
+
+
+@dataclass(frozen=True)
+class DataMessage:
+    """An application message: the unit the sender multicasts.
+
+    ``payload`` is opaque to the protocol; experiments leave it ``None``.
+    """
+
+    seq: Seq
+    sender: NodeId
+    payload: Any = None
+    kind: str = field(default=KIND_DATA, repr=False)
+    wire_size: int = field(default=DATA_WIRE_SIZE, repr=False)
+
+
+@dataclass(frozen=True)
+class LocalRequest:
+    """Retransmission request to a randomly-selected region neighbour (§2.2)."""
+
+    seq: Seq
+    requester: NodeId
+    kind: str = field(default=KIND_CONTROL, repr=False)
+    wire_size: int = field(default=CONTROL_WIRE_SIZE, repr=False)
+
+
+@dataclass(frozen=True)
+class RemoteRequest:
+    """Retransmission request to a random member of the parent region (§2.2).
+
+    Sent with probability λ/n per round so the region-wide expected
+    number of remote requests per try is λ.
+    """
+
+    seq: Seq
+    requester: NodeId
+    kind: str = field(default=KIND_CONTROL, repr=False)
+    wire_size: int = field(default=CONTROL_WIRE_SIZE, repr=False)
+
+
+#: How a repair reached a receiver; drives the receiver's next action
+#: (a remote repair is re-multicast within the receiver's region, §2.2).
+REPAIR_LOCAL = "local"          # unicast reply to a local request
+REPAIR_REMOTE = "remote"        # unicast from a parent-region member
+REPAIR_REGIONAL = "regional"    # regional re-multicast of a remote repair
+REPAIR_RELAY = "relay"          # a parent-region member relaying a message
+                                # it had recorded a waiter for (§2.2)
+
+
+@dataclass(frozen=True)
+class Repair:
+    """A retransmission carrying the full message body."""
+
+    data: DataMessage
+    responder: NodeId
+    scope: str
+    kind: str = field(default=KIND_DATA, repr=False)
+    wire_size: int = field(default=DATA_WIRE_SIZE, repr=False)
+
+    @property
+    def seq(self) -> Seq:
+        """Sequence number of the repaired message."""
+        return self.data.seq
+
+
+@dataclass(frozen=True)
+class SessionMessage:
+    """Periodic sender heartbeat advertising the highest sequence number.
+
+    Lets receivers detect the loss of the last message in a burst
+    (§2.1) — a gap-based detector alone can never notice a missing tail.
+    """
+
+    sender: NodeId
+    max_seq: Seq
+    kind: str = field(default=KIND_CONTROL, repr=False)
+    wire_size: int = field(default=CONTROL_WIRE_SIZE, repr=False)
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """A remote request being walked through the region to find a bufferer (§3.3).
+
+    ``waiters`` are the downstream (remote) receivers that should get
+    the repair once a bufferer is found; ``forwarder`` is the region
+    member that forwarded this hop.  ``hops`` counts consecutive
+    *redirect* hops (owner-hint forwards); it bounds pathological hint
+    chains when announced owners have since discarded the message.
+    """
+
+    seq: Seq
+    waiters: Tuple[NodeId, ...]
+    forwarder: NodeId
+    hops: int = 0
+    kind: str = field(default=KIND_CONTROL, repr=False)
+    wire_size: int = field(default=CONTROL_WIRE_SIZE, repr=False)
+
+
+@dataclass(frozen=True)
+class HaveReply:
+    """Regional multicast "I have the message" that terminates a search (§3.3)."""
+
+    seq: Seq
+    owner: NodeId
+    kind: str = field(default=KIND_CONTROL, repr=False)
+    wire_size: int = field(default=CONTROL_WIRE_SIZE, repr=False)
+
+
+@dataclass(frozen=True)
+class HandoffMessage:
+    """Long-term buffer transfer from a gracefully leaving member (§3.2)."""
+
+    data: DataMessage
+    from_member: NodeId
+    kind: str = field(default=KIND_DATA, repr=False)
+    wire_size: int = field(default=DATA_WIRE_SIZE, repr=False)
+
+    @property
+    def seq(self) -> Seq:
+        """Sequence number of the transferred message."""
+        return self.data.seq

@@ -1,0 +1,105 @@
+"""The RRMP sender.
+
+RRMP targets single-sender multicast applications (§2).  The sender is
+itself a group member ("The sender joins the multicast group before it
+starts sending messages, and consequently is also a receiver"), so
+:class:`RrmpSender` wraps an :class:`~repro.protocol.member.RrmpMember`
+and adds:
+
+* sequence-numbered multicasts whose per-receiver outcome is drawn from
+  a :class:`~repro.net.ipmulticast.MulticastOutcome` model (the
+  documented substitution for real IP multicast);
+* periodic session messages advertising the highest sequence number, so
+  receivers can detect the loss of the last message in a burst (§2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.net.ipmulticast import MulticastOutcome, PerfectOutcome
+from repro.net.topology import NodeId
+from repro.protocol.member import RrmpMember
+from repro.protocol.messages import DataMessage, Seq, SessionMessage
+from repro.sim import PeriodicTask
+
+
+class RrmpSender:
+    """Multicast source for one RRMP session."""
+
+    def __init__(
+        self,
+        member: RrmpMember,
+        outcome: Optional[MulticastOutcome] = None,
+    ) -> None:
+        self.member = member
+        self.outcome = outcome if outcome is not None else PerfectOutcome()
+        self.next_seq: Seq = 1
+        self._rng = member.streams.stream("sender", member.node_id, "outcome")
+        self._session_task: Optional[PeriodicTask] = None
+        interval = member.config.session_interval
+        if interval is not None:
+            self._session_task = PeriodicTask(member.sim, interval, self._send_session)
+            self._session_task.start()
+
+    @property
+    def node_id(self) -> NodeId:
+        """The sender's member id."""
+        return self.member.node_id
+
+    @property
+    def max_seq(self) -> Seq:
+        """Highest sequence number multicast so far (0 before any send)."""
+        return self.next_seq - 1
+
+    def group(self) -> Sequence[NodeId]:
+        """The full multicast group (every node in the hierarchy)."""
+        return self.member.hierarchy.nodes
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def multicast(self, payload: Any = None) -> DataMessage:
+        """Multicast the next message; returns the DataMessage sent.
+
+        The outcome model picks which receivers the unreliable IP
+        multicast reaches; everyone else must recover the loss.  The
+        sender always holds its own message.
+        """
+        data = DataMessage(seq=self.next_seq, sender=self.node_id, payload=payload)
+        self.next_seq += 1
+        group = list(self.group())
+        holders = set(self.outcome.holders(data.seq, group, self._rng))
+        holders.add(self.node_id)
+        self.member.trace.emit(
+            self.member.sim.now,
+            "message_sent",
+            seq=data.seq,
+            holders=len(holders),
+            group=len(group),
+        )
+        # The sender delivers to itself directly; remote holders get the
+        # message through the network (per-receiver latency).
+        self.member.inject_receive(data, via="multicast")
+        targets = [node for node in group if node in holders and node != self.node_id]
+        self.member.network.multicast(self.node_id, targets, data, group="session")
+        return data
+
+    def multicast_burst(self, count: int, payload: Any = None) -> Sequence[DataMessage]:
+        """Multicast *count* messages back-to-back at the current instant."""
+        return [self.multicast(payload) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Session messages
+    # ------------------------------------------------------------------
+    def _send_session(self) -> None:
+        if self.max_seq < 1 or not self.member.alive:
+            return
+        message = SessionMessage(sender=self.node_id, max_seq=self.max_seq)
+        group = [node for node in self.group() if node != self.node_id]
+        self.member.network.multicast(self.node_id, group, message, group="session")
+
+    def stop(self) -> None:
+        """Stop session messages (end of session)."""
+        if self._session_task is not None:
+            self._session_task.stop()

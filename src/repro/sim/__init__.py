@@ -1,0 +1,29 @@
+"""Discrete-event simulation substrate (system S1 in DESIGN.md).
+
+Everything in ``repro`` runs on this engine: a millisecond-resolution
+virtual clock (:class:`Simulator`), lazily-cancellable events, protocol
+timers (:class:`Timer`, :class:`PeriodicTask`), deterministic named RNG
+streams (:class:`RandomStreams`) and a structured trace log
+(:class:`TraceLog`).
+"""
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.randomness import RandomStreams, derive_seed
+from repro.sim.timers import PeriodicTask, Timer, call_repeatedly
+from repro.sim.tracing import NullTraceLog, TraceLog, TraceRecord
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "NullTraceLog",
+    "PeriodicTask",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "TraceLog",
+    "TraceRecord",
+    "call_repeatedly",
+    "derive_seed",
+]

@@ -1,0 +1,126 @@
+"""Event primitives for the discrete-event simulation engine.
+
+An :class:`Event` is a callback scheduled to fire at a simulated time.
+Events are totally ordered by ``(time, sequence_number)`` so that two
+events scheduled for the same instant fire in the order they were
+scheduled, which keeps every simulation run deterministic.
+
+Cancellation is *lazy*: cancelling an event marks it dead but leaves it
+in the heap; the engine discards dead events when it pops them.  This
+makes :meth:`Event.cancel` O(1), which matters because protocol timers
+are cancelled far more often than they fire.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class Event:
+    """A single scheduled callback.
+
+    Instances are created by the engine (:meth:`repro.sim.Simulator.at` /
+    :meth:`repro.sim.Simulator.after`); user code normally only keeps a
+    reference in order to :meth:`cancel` it.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[..., None]] = callback
+        self.args = args
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self._cancelled
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire.
+
+        An event stops being pending once it fires or is cancelled.
+        """
+        return not self._cancelled and self.callback is not None
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent and O(1)."""
+        self._cancelled = True
+        # Drop references eagerly so cancelled timers do not pin protocol
+        # state (members, buffers) in memory until the heap drains.
+        self.callback = None
+        self.args = ()
+
+    def _fire(self) -> None:
+        """Invoke the callback exactly once.  Engine-internal."""
+        callback, args = self.callback, self.args
+        self.callback = None
+        self.args = ()
+        if callback is not None:
+            callback(*args)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("pending" if self.pending else "fired")
+        return f"Event(t={self.time:.3f}, seq={self.seq}, {state})"
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    The queue tolerates lazily-cancelled events: :meth:`pop` and
+    :meth:`peek_time` transparently skip events whose ``cancel`` method
+    has been called.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+
+    def push(self, event: Event) -> None:
+        """Insert *event* into the queue."""
+        heapq.heappush(self._heap, event)
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` if empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the earliest live event, if any."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    def __len__(self) -> int:
+        """Number of queued entries, *including* cancelled ones."""
+        return len(self._heap)
+
+    def live_count(self) -> int:
+        """Number of queued events that have not been cancelled.
+
+        O(n); intended for tests and diagnostics, not hot paths.
+        """
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def clear(self) -> None:
+        """Drop every queued event."""
+        self._heap.clear()

@@ -1,0 +1,121 @@
+"""Restartable timers and periodic tasks on top of the event engine.
+
+RRMP is timer-heavy: every in-flight recovery keeps a per-round
+retransmission timer, every buffered message keeps an idle timer that is
+pushed back each time a request arrives, and the baselines run periodic
+gossip.  :class:`Timer` and :class:`PeriodicTask` capture those two
+patterns once so protocol code never manipulates raw events.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class Timer:
+    """A one-shot timer that can be (re)started and cancelled.
+
+    Restarting an armed timer cancels the previous deadline, which is
+    exactly the semantics of the paper's *idle threshold*: each
+    retransmission request pushes the discard deadline back to
+    ``now + T``.
+    """
+
+    __slots__ = ("_sim", "_callback", "_event")
+
+    def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        """Whether the timer is currently counting down."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute firing time if armed, else ``None``."""
+        if self.armed:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire *delay* ms from now."""
+        self.cancel()
+        self._event = self._sim.after(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer if armed.  Idempotent."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicTask:
+    """Invoke a callback every *interval* ms until stopped.
+
+    Used by the stability-detection baseline (history-digest gossip), the
+    gossip failure detector (heartbeats) and the metrics occupancy
+    probes.  The first invocation happens ``phase`` ms after
+    :meth:`start` (default: one full interval).
+    """
+
+    __slots__ = ("_sim", "_callback", "interval", "_event", "_stopped")
+
+    def __init__(self, sim: Simulator, interval: float, callback: Callable[[], None]) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval!r}")
+        self._sim = sim
+        self._callback = callback
+        self.interval = interval
+        self._event: Optional[Event] = None
+        self._stopped = True
+
+    @property
+    def running(self) -> bool:
+        """Whether the task is currently scheduled."""
+        return not self._stopped
+
+    def start(self, phase: Optional[float] = None) -> None:
+        """Begin ticking.  *phase* delays the first tick (default: interval)."""
+        self.stop()
+        self._stopped = False
+        first = self.interval if phase is None else phase
+        self._event = self._sim.after(first, self._tick)
+
+    def stop(self) -> None:
+        """Stop ticking.  Idempotent."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        # Re-arm before invoking the callback so the callback may call
+        # stop() to terminate the task.
+        self._event = self._sim.after(self.interval, self._tick)
+        self._callback()
+
+
+def call_repeatedly(
+    sim: Simulator,
+    interval: float,
+    callback: Callable[..., None],
+    *args: Any,
+    phase: Optional[float] = None,
+) -> PeriodicTask:
+    """Convenience wrapper: build and start a :class:`PeriodicTask`."""
+    task = PeriodicTask(sim, interval, lambda: callback(*args))
+    task.start(phase=phase)
+    return task

@@ -1,0 +1,96 @@
+"""Structured trace log for simulations.
+
+Protocol components emit trace records (``kind`` plus free-form fields);
+metric collectors and tests subscribe to the kinds they care about.
+Tracing is how the experiment harness measures quantities the paper
+plots — e.g. "search time" is the interval between a ``search_started``
+and the matching ``search_served`` record.
+
+The log is deliberately simple: an in-memory list plus synchronous
+subscribers.  A 100-member region experiment emits a few thousand
+records, so there is no need for anything fancier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event: a timestamp, a kind, and arbitrary fields."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field access with a default, mirroring ``dict.get``."""
+        return self.fields.get(key, default)
+
+
+Subscriber = Callable[[TraceRecord], None]
+
+
+class TraceLog:
+    """Collects :class:`TraceRecord` objects and fans them out.
+
+    Set ``keep_records=False`` to run in streaming mode (subscribers
+    only), which large parameter sweeps use to bound memory.
+    """
+
+    def __init__(self, keep_records: bool = True) -> None:
+        self.keep_records = keep_records
+        self.records: List[TraceRecord] = []
+        self._subscribers: List[Subscriber] = []
+        self._kind_subscribers: Dict[str, List[Subscriber]] = {}
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        """Record an event at simulated *time* with the given *kind*."""
+        record = TraceRecord(time, kind, fields)
+        if self.keep_records:
+            self.records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+        for subscriber in self._kind_subscribers.get(kind, ()):
+            subscriber(record)
+
+    def subscribe(self, subscriber: Subscriber, kind: Optional[str] = None) -> None:
+        """Register *subscriber* for every record, or only records of *kind*."""
+        if kind is None:
+            self._subscribers.append(subscriber)
+        else:
+            self._kind_subscribers.setdefault(kind, []).append(subscriber)
+
+    def of_kind(self, kind: str) -> Iterator[TraceRecord]:
+        """Iterate over retained records of the given *kind*."""
+        return (record for record in self.records if record.kind == kind)
+
+    def first(self, kind: str) -> Optional[TraceRecord]:
+        """Earliest retained record of *kind*, or ``None``."""
+        for record in self.records:
+            if record.kind == kind:
+                return record
+        return None
+
+    def count(self, kind: str) -> int:
+        """Number of retained records of *kind*."""
+        return sum(1 for record in self.records if record.kind == kind)
+
+    def clear(self) -> None:
+        """Drop retained records (subscribers stay registered)."""
+        self.records.clear()
+
+
+class NullTraceLog(TraceLog):
+    """A trace log that drops everything; used when tracing is disabled."""
+
+    def __init__(self) -> None:
+        super().__init__(keep_records=False)
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:  # noqa: D102
+        return None

@@ -1,0 +1,84 @@
+"""History digests for stability detection.
+
+Stability-detection protocols (Guo & Rhee [8], cited in §1/§3.1) have
+members "periodically exchange message history information about the
+set of messages they have received".  We represent a member's history
+compactly as its *low watermark* — the largest sequence number below
+which it has received everything — which is sufficient for the
+single-sender, dense-sequence setting RRMP targets.
+
+A :class:`WatermarkTable` accumulates the watermarks a member has
+learned about the group; the minimum over the *full* membership is the
+stability frontier.  Needing full membership knowledge is precisely the
+drawback the paper contrasts RRMP against (§1: "no single receiver has
+complete membership information about the group").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.net.packet import KIND_CONTROL
+from repro.net.topology import NodeId
+from repro.protocol.messages import CONTROL_WIRE_SIZE, Seq
+
+
+@dataclass(frozen=True)
+class WatermarkDigest:
+    """Gossiped history summary: "*member* has everything up to *watermark*".
+
+    Carries the sender's whole known table piggybacked (``table``) so
+    gossip converges in O(log n) rounds rather than O(n).
+    """
+
+    member: NodeId
+    watermark: Seq
+    table: tuple = ()  # tuple of (member, watermark) pairs
+    kind: str = field(default=KIND_CONTROL, repr=False)
+    wire_size: int = field(default=CONTROL_WIRE_SIZE, repr=False)
+
+
+class WatermarkTable:
+    """Per-member view of everyone's low watermark."""
+
+    def __init__(self) -> None:
+        self._watermarks: Dict[NodeId, Seq] = {}
+
+    def update(self, member: NodeId, watermark: Seq) -> bool:
+        """Merge one observation (keep the max); returns True if it advanced."""
+        current = self._watermarks.get(member)
+        if current is None or watermark > current:
+            self._watermarks[member] = watermark
+            return True
+        return False
+
+    def merge(self, pairs: Iterable) -> bool:
+        """Merge a gossiped table; returns True if anything advanced."""
+        advanced = False
+        for member, watermark in pairs:
+            if self.update(member, watermark):
+                advanced = True
+        return advanced
+
+    def get(self, member: NodeId) -> Optional[Seq]:
+        """Known watermark of *member*, or ``None``."""
+        return self._watermarks.get(member)
+
+    def as_pairs(self) -> tuple:
+        """The table as a gossip-able tuple of pairs."""
+        return tuple(sorted(self._watermarks.items()))
+
+    def stability_frontier(self, group: Iterable[NodeId]) -> Seq:
+        """Messages ≤ this seq are stable: received by every *group* member.
+
+        Any member we have no watermark for pins the frontier at 0 —
+        without full-group information nothing can be declared stable,
+        which is the conservative (and correct) behaviour.
+        """
+        frontier: Optional[Seq] = None
+        for member in group:
+            watermark = self._watermarks.get(member, 0)
+            if frontier is None or watermark < frontier:
+                frontier = watermark
+        return frontier if frontier is not None else 0

@@ -1,0 +1,25 @@
+"""Workloads and canned scenarios (system S11 in DESIGN.md)."""
+
+from repro.workloads.scenarios import (
+    InitialHoldersResult,
+    SearchResult,
+    run_initial_holders,
+    run_search,
+)
+from repro.workloads.traffic import (
+    BurstStream,
+    PoissonStream,
+    TrafficGenerator,
+    UniformStream,
+)
+
+__all__ = [
+    "BurstStream",
+    "InitialHoldersResult",
+    "PoissonStream",
+    "SearchResult",
+    "TrafficGenerator",
+    "UniformStream",
+    "run_initial_holders",
+    "run_search",
+]

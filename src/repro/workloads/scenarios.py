@@ -1,0 +1,213 @@
+"""Canned experiment scenarios reproducing the paper's §4 setups.
+
+Two families:
+
+* :func:`run_initial_holders` — the Figure 6/7 workload: a single
+  region of *n* members, *k* of which hold a fresh message; everyone
+  else detects the loss simultaneously at t = 0 and local recovery +
+  feedback-based buffering play out.
+* :func:`run_search` — the Figure 8/9 workload: a region where every
+  member has received (and all but *b* have discarded) a message, and a
+  downstream member's remote request must find one of the *b*
+  bufferers via the §3.3 randomized search.
+
+Both return small result objects carrying the simulation plus the
+measurements the figures plot, so experiments and tests share one
+code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+from repro.core.buffer import DISCARD_IDLE
+from repro.net.latency import ConstantLatency, HierarchicalLatency
+from repro.net.topology import NodeId, chain, single_region
+from repro.protocol.config import RrmpConfig
+from repro.protocol.messages import DataMessage, Seq
+from repro.protocol.rrmp import RrmpSimulation
+
+
+@dataclass
+class InitialHoldersResult:
+    """Outcome of the Figure 6/7 scenario."""
+
+    simulation: RrmpSimulation
+    data: DataMessage
+    holders: List[NodeId]
+
+    def holder_buffering_durations(self) -> List[float]:
+        """Short-term buffering time of each initial holder (receipt →
+        idle-discard), the quantity Figure 6 averages.
+
+        Holders still buffering (e.g. promoted to long-term) are
+        excluded; run the scenario with ``long_term_c = 0`` — as §4
+        does implicitly — to measure every holder.
+        """
+        durations: List[float] = []
+        for node in self.holders:
+            member = self.simulation.members[node]
+            durations.extend(member.policy.buffer.durations(reason=DISCARD_IDLE))
+        return durations
+
+    def all_recovered(self) -> bool:
+        """Whether every member eventually received the message."""
+        return self.simulation.all_received(self.data.seq)
+
+
+def run_initial_holders(
+    n: int,
+    k: int,
+    seed: int = 0,
+    idle_threshold: float = 40.0,
+    long_term_c: float = 0.0,
+    rtt: float = 10.0,
+    run_for: Optional[float] = None,
+    max_recovery_time: Optional[float] = 2_000.0,
+) -> InitialHoldersResult:
+    """Run the §4 feedback-buffering scenario (Figures 6 and 7).
+
+    Parameters mirror the paper: region of *n* members (100 in §4),
+    round-trip time *rtt* between any two members (10 ms), idle
+    threshold 40 ms, *k* members drawn uniformly to hold the message
+    initially.  All other members detect the loss at t = 0 and start
+    local recovery.  ``long_term_c`` defaults to 0 so the measurement
+    isolates the short-term (feedback) phase.
+
+    ``max_recovery_time`` bounds the run: with ``long_term_c = 0`` the
+    message can (rarely) vanish from every buffer while a receiver
+    still misses it — the §3.2 "unlucky receiver" case that long-term
+    buffering exists to fix.  Such a receiver gives up after this
+    deadline and a ``reliability_violation`` is recorded (§5).
+    """
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, n], got k={k}, n={n}")
+    hierarchy = single_region(n)
+    config = RrmpConfig(
+        idle_threshold=idle_threshold,
+        long_term_c=long_term_c,
+        session_interval=None,
+        max_recovery_time=max_recovery_time,
+    )
+    simulation = RrmpSimulation(
+        hierarchy,
+        config=config,
+        seed=seed,
+        latency=ConstantLatency(rtt / 2.0),
+    )
+    sender = simulation.sender.node_id
+    data = DataMessage(seq=1, sender=sender)
+    rng = simulation.streams.stream("scenario", "holders")
+    holders = sorted(rng.sample(hierarchy.nodes, k))
+    holder_set: Set[NodeId] = set(holders)
+    for node in hierarchy.nodes:
+        member = simulation.members[node]
+        if node in holder_set:
+            member.inject_receive(data, via="multicast")
+        else:
+            member.inject_loss_detection(data.seq)
+    if run_for is None:
+        # With long_term_c == 0 and sessions off, the event queue drains
+        # once recovery finishes and every idle timer fires.
+        simulation.sim.drain()
+    else:
+        simulation.run(duration=run_for)
+    return InitialHoldersResult(simulation=simulation, data=data, holders=holders)
+
+
+@dataclass
+class SearchResult:
+    """Outcome of the Figure 8/9 scenario."""
+
+    simulation: RrmpSimulation
+    data: DataMessage
+    bufferers: List[NodeId]
+    requester: NodeId
+    request_arrival: Optional[float]
+    served_at: Optional[float]
+    served_via: Optional[str]
+
+    @property
+    def search_time(self) -> Optional[float]:
+        """Request arrival in the region → a bufferer serves the repair.
+
+        0 when the request lands directly on a bufferer (footnote 5);
+        ``None`` if unserved within the simulated horizon.
+        """
+        if self.request_arrival is None or self.served_at is None:
+            return None
+        return self.served_at - self.request_arrival
+
+    @property
+    def search_forwards(self) -> int:
+        """Number of search hops taken (network traffic of the search)."""
+        return self.simulation.trace.count("search_forwarded")
+
+
+def run_search(
+    n: int,
+    bufferers: int,
+    seed: int = 0,
+    intra_one_way: float = 5.0,
+    inter_one_way: float = 500.0,
+    horizon: float = 2_000.0,
+) -> SearchResult:
+    """Run the §4 bufferer-search scenario (Figures 8 and 9).
+
+    A region of *n* members has all received message 1; exactly
+    *bufferers* of them still hold it (as long-term bufferers).  A
+    single downstream member in a child region misses the message and
+    sends a remote request to a uniformly-random upstream member
+    (λ = 1 with a one-member region makes that probability exactly 1 —
+    the same mechanism §2.2 specifies).  The measured search time is
+    the interval from the request's arrival in the region until a
+    bufferer sends the repair.
+
+    ``inter_one_way`` is set high so the requester's retry timer
+    (2 × 500 ms) cannot fire a second request inside the measurement
+    window, matching the paper's single-request setup.
+    """
+    if not 0 <= bufferers <= n:
+        raise ValueError(f"bufferers must be in [0, n], got {bufferers}")
+    hierarchy = chain([n, 1])
+    config = RrmpConfig(session_interval=None, remote_lambda=1.0)
+    simulation = RrmpSimulation(
+        hierarchy,
+        config=config,
+        seed=seed,
+        latency=HierarchicalLatency(
+            hierarchy, intra_one_way=intra_one_way, inter_one_way=inter_one_way
+        ),
+    )
+    region = hierarchy.regions[0]
+    requester = hierarchy.regions[1].members[0]
+    data = DataMessage(seq=1, sender=simulation.sender.node_id)
+    rng = simulation.streams.stream("scenario", "bufferers")
+    chosen = sorted(rng.sample(region.members, bufferers))
+    chosen_set = set(chosen)
+    for node in region.members:
+        member = simulation.members[node]
+        if node in chosen_set:
+            member.install_long_term(data)
+        else:
+            member.force_received(data)
+    # The downstream member detects the loss at t = 0; its remote phase
+    # fires the single remote request into the region.
+    simulation.members[requester].inject_loss_detection(data.seq)
+    simulation.run(duration=horizon)
+
+    arrival = simulation.trace.first("remote_request_received")
+    served = None
+    for record in simulation.trace.of_kind("remote_request_served"):
+        served = record
+        break
+    return SearchResult(
+        simulation=simulation,
+        data=data,
+        bufferers=chosen,
+        requester=requester,
+        request_arrival=arrival.time if arrival is not None else None,
+        served_at=served.time if served is not None else None,
+        served_via=served.get("via") if served is not None else None,
+    )

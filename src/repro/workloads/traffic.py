@@ -1,0 +1,87 @@
+"""Sender traffic generators.
+
+The paper's evaluation uses single-message outcomes (Figures 6-9), but
+its design arguments are about *streams* ("When the sender multicasts a
+stream of messages, the load of long-term buffering is spread evenly",
+§3.2).  These generators schedule multi-message workloads against an
+:class:`~repro.protocol.rrmp.RrmpSimulation` (or any facade with a
+``sender.multicast()`` and a ``sim`` engine).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List
+
+
+class TrafficGenerator(ABC):
+    """Schedules a sequence of multicasts onto a simulation."""
+
+    @abstractmethod
+    def send_times(self) -> List[float]:
+        """Absolute send instants, sorted ascending."""
+
+    def schedule(self, simulation) -> int:
+        """Install the sends on *simulation*; returns the message count."""
+        times = self.send_times()
+        for t in times:
+            simulation.sim.at(t, simulation.sender.multicast)
+        return len(times)
+
+
+class UniformStream(TrafficGenerator):
+    """*count* messages at a fixed *interval*, starting at *start*."""
+
+    def __init__(self, count: int, interval: float, start: float = 0.0) -> None:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval!r}")
+        self.count = count
+        self.interval = interval
+        self.start = start
+
+    def send_times(self) -> List[float]:
+        return [self.start + i * self.interval for i in range(self.count)]
+
+
+class PoissonStream(TrafficGenerator):
+    """Messages as a Poisson process of *rate* (msgs/ms) over *duration*."""
+
+    def __init__(self, rate: float, duration: float, rng: random.Random,
+                 start: float = 0.0) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate!r}")
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration!r}")
+        self.rate = rate
+        self.duration = duration
+        self.start = start
+        self._rng = rng
+
+    def send_times(self) -> List[float]:
+        times: List[float] = []
+        t = self.start
+        while True:
+            t += self._rng.expovariate(self.rate)
+            if t >= self.start + self.duration:
+                return times
+            times.append(t)
+
+
+class BurstStream(TrafficGenerator):
+    """Explicit bursts: ``[(t, size), ...]`` sends *size* messages at *t*.
+
+    Back-to-back sends within a burst exercise the session-message path
+    (the last message of a burst has no following gap to reveal it).
+    """
+
+    def __init__(self, bursts: List) -> None:
+        self.bursts = list(bursts)
+
+    def send_times(self) -> List[float]:
+        times: List[float] = []
+        for t, size in self.bursts:
+            times.extend([t] * size)
+        return sorted(times)

@@ -1,0 +1,115 @@
+"""Tests for the paper's closed-form results (§3.1, §3.2)."""
+
+import math
+
+import pytest
+
+from repro.analysis.formulas import (
+    bufferer_distribution_poisson,
+    bufferer_pmf_binomial,
+    bufferer_pmf_poisson,
+    expected_remote_requests,
+    prob_no_bufferer,
+    prob_no_bufferer_binomial,
+    prob_no_request,
+    prob_no_request_limit,
+)
+
+
+class TestNoRequestProbability:
+    def test_exact_formula(self):
+        # (1 - 1/99)^(100*0.5) with n=100, p=0.5
+        expected = (1 - 1 / 99) ** 50
+        assert prob_no_request(100, 0.5) == pytest.approx(expected)
+
+    def test_no_missing_members_means_silence(self):
+        assert prob_no_request(100, 0.0) == 1.0
+
+    def test_limit_approximation_converges(self):
+        """§3.1: as n -> inf the probability approaches e^-p."""
+        p = 0.3
+        exact_small = prob_no_request(10, p)
+        exact_large = prob_no_request(100_000, p)
+        limit = prob_no_request_limit(p)
+        assert abs(exact_large - limit) < abs(exact_small - limit)
+        assert exact_large == pytest.approx(limit, rel=1e-3)
+
+    def test_decreases_exponentially_with_p(self):
+        values = [prob_no_request_limit(p) for p in (0.1, 0.5, 1.0)]
+        assert values[0] > values[1] > values[2]
+        assert values[2] == pytest.approx(math.exp(-1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prob_no_request(1, 0.5)
+        with pytest.raises(ValueError):
+            prob_no_request(100, 1.5)
+        with pytest.raises(ValueError):
+            prob_no_request_limit(-0.1)
+
+
+class TestBuffererDistribution:
+    def test_poisson_pmf_sums_to_one(self):
+        total = sum(bufferer_pmf_poisson(6.0, k) for k in range(80))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_binomial_pmf_sums_to_one(self):
+        total = sum(bufferer_pmf_binomial(100, 6.0, k) for k in range(101))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_poisson_approximates_binomial(self):
+        """§3.2: Binomial(n, C/n) -> Poisson(C) for large n."""
+        for k in range(15):
+            binomial = bufferer_pmf_binomial(10_000, 6.0, k)
+            poisson = bufferer_pmf_poisson(6.0, k)
+            assert binomial == pytest.approx(poisson, abs=2e-3)
+
+    def test_poisson_mode_near_c(self):
+        pmf = bufferer_distribution_poisson(6.0, 20)
+        mode = pmf.index(max(pmf))
+        assert mode in (5, 6)
+
+    def test_figure3_shift_right_with_c(self):
+        """Figure 3: curves shift right as C grows."""
+        modes = []
+        for c in (5.0, 6.0, 7.0, 8.0):
+            pmf = bufferer_distribution_poisson(c, 25)
+            modes.append(pmf.index(max(pmf)))
+        assert modes == sorted(modes)
+
+    def test_out_of_range_k(self):
+        assert bufferer_pmf_binomial(10, 2.0, 11) == 0.0
+        assert bufferer_pmf_poisson(2.0, -1) == 0.0
+
+    def test_binomial_mean_is_c(self):
+        n, c = 100, 6.0
+        mean = sum(k * bufferer_pmf_binomial(n, c, k) for k in range(n + 1))
+        assert mean == pytest.approx(c)
+
+
+class TestNoBufferer:
+    def test_paper_example_quarter_percent_at_c6(self):
+        """'When C = 6, for example, the probability is only 0.25%.'"""
+        assert prob_no_bufferer(6.0) == pytest.approx(0.0025, abs=0.0002)
+
+    def test_exponential_decay(self):
+        values = [prob_no_bufferer(c) for c in range(1, 7)]
+        ratios = [a / b for a, b in zip(values[1:], values)]
+        for ratio in ratios:
+            assert ratio == pytest.approx(math.exp(-1))
+
+    def test_binomial_close_to_poisson_for_n100(self):
+        assert prob_no_bufferer_binomial(100, 6.0) == pytest.approx(
+            prob_no_bufferer(6.0), rel=0.25
+        )
+
+
+class TestExpectedRemoteRequests:
+    def test_lambda_when_region_is_large(self):
+        assert expected_remote_requests(100, 1.0) == pytest.approx(1.0)
+
+    def test_capped_at_region_size(self):
+        assert expected_remote_requests(3, 10.0) == pytest.approx(3.0)
+
+    def test_empty_region(self):
+        assert expected_remote_requests(0, 1.0) == 0.0

@@ -1,0 +1,86 @@
+"""Shared fixtures and fakes for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import RandomStreams, Simulator, TraceLog
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator starting at t = 0."""
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Deterministic stream factory with a fixed master seed."""
+    return RandomStreams(1234)
+
+
+@pytest.fixture
+def trace() -> TraceLog:
+    """A record-keeping trace log."""
+    return TraceLog()
+
+
+class FakeBufferHost:
+    """Minimal BufferHost for unit-testing policies without a member."""
+
+    def __init__(self, sim: Simulator, trace: TraceLog, node_id: int = 0,
+                 region_size: int = 100, seed: int = 99) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.trace = trace
+        self._region_size = region_size
+        self._streams = RandomStreams(seed)
+
+    def region_size(self) -> int:
+        return self._region_size
+
+    def set_region_size(self, n: int) -> None:
+        self._region_size = n
+
+    def policy_rng(self, purpose: str) -> random.Random:
+        return self._streams.stream("policy", purpose)
+
+
+@pytest.fixture
+def buffer_host(sim: Simulator, trace: TraceLog) -> FakeBufferHost:
+    """A fake policy host bound to the shared sim/trace fixtures."""
+    return FakeBufferHost(sim, trace)
+
+
+class FakeSearchHost:
+    """Minimal SearchHost recording forwarded requests."""
+
+    def __init__(self, sim: Simulator, trace: TraceLog, node_id: int = 0,
+                 members=None, rtt: float = 10.0, seed: int = 7) -> None:
+        self.node_id = node_id
+        self.sim = sim
+        self.trace = trace
+        self.members = list(members if members is not None else range(10))
+        self.rtt = rtt
+        self.sent = []  # list of (dst, SearchRequest)
+        self._streams = RandomStreams(seed)
+
+    def region_member_ids(self):
+        return list(self.members)
+
+    def send_search_request(self, dst, request):
+        self.sent.append((dst, request))
+
+    def rtt_to(self, dst):
+        return self.rtt
+
+    def search_rng(self):
+        return self._streams.stream("search")
+
+
+@pytest.fixture
+def search_host(sim: Simulator, trace: TraceLog) -> FakeSearchHost:
+    """A fake search host with ten region members."""
+    return FakeSearchHost(sim, trace)

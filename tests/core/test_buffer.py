@@ -1,0 +1,94 @@
+"""Unit tests for the message buffer store."""
+
+import pytest
+
+from repro.core.buffer import DISCARD_IDLE, DISCARD_TTL, MessageBuffer
+from repro.protocol.messages import DataMessage
+
+
+def msg(seq: int) -> DataMessage:
+    return DataMessage(seq=seq, sender=0)
+
+
+class TestStorage:
+    def test_add_and_query(self):
+        buffer = MessageBuffer()
+        buffer.add(msg(1), now=10.0)
+        assert 1 in buffer
+        assert buffer.occupancy == 1
+        assert buffer.data(1).seq == 1
+        assert buffer.get(1).receive_time == 10.0
+
+    def test_add_is_idempotent(self):
+        buffer = MessageBuffer()
+        first = buffer.add(msg(1), now=10.0)
+        second = buffer.add(msg(1), now=99.0)
+        assert first is second
+        assert buffer.get(1).receive_time == 10.0
+
+    def test_missing_queries_return_none(self):
+        buffer = MessageBuffer()
+        assert buffer.get(1) is None
+        assert buffer.data(1) is None
+        assert 1 not in buffer
+
+    def test_seqs_preserve_insertion_order(self):
+        buffer = MessageBuffer()
+        for seq in (3, 1, 2):
+            buffer.add(msg(seq), now=0.0)
+        assert list(buffer.seqs()) == [3, 1, 2]
+
+    def test_long_term_seqs(self):
+        buffer = MessageBuffer()
+        buffer.add(msg(1), now=0.0)
+        entry = buffer.add(msg(2), now=0.0, long_term=True)
+        assert entry.long_term
+        assert list(buffer.long_term_seqs()) == [2]
+
+    def test_last_use_defaults_to_receive_time(self):
+        buffer = MessageBuffer()
+        entry = buffer.add(msg(1), now=25.0)
+        assert entry.last_use_time == 25.0
+
+
+class TestDiscard:
+    def test_discard_records_episode(self):
+        buffer = MessageBuffer()
+        buffer.add(msg(1), now=10.0)
+        entry = buffer.discard(1, now=50.0, reason=DISCARD_IDLE)
+        assert entry is not None
+        assert 1 not in buffer
+        record = buffer.records[0]
+        assert record.duration == pytest.approx(40.0)
+        assert record.reason == DISCARD_IDLE
+        assert not record.was_long_term
+
+    def test_discard_missing_returns_none(self):
+        buffer = MessageBuffer()
+        assert buffer.discard(1, now=0.0, reason=DISCARD_IDLE) is None
+        assert buffer.records == []
+
+    def test_discard_all(self):
+        buffer = MessageBuffer()
+        for seq in range(5):
+            buffer.add(msg(seq), now=0.0)
+        removed = buffer.discard_all(now=100.0)
+        assert len(removed) == 5
+        assert buffer.occupancy == 0
+        assert len(buffer.records) == 5
+
+    def test_long_term_flag_recorded(self):
+        buffer = MessageBuffer()
+        entry = buffer.add(msg(1), now=0.0)
+        entry.long_term = True
+        buffer.discard(1, now=10.0, reason=DISCARD_TTL)
+        assert buffer.records[0].was_long_term
+
+    def test_durations_filter_by_reason(self):
+        buffer = MessageBuffer()
+        buffer.add(msg(1), now=0.0)
+        buffer.add(msg(2), now=0.0)
+        buffer.discard(1, now=40.0, reason=DISCARD_IDLE)
+        buffer.discard(2, now=100.0, reason=DISCARD_TTL)
+        assert buffer.durations(reason=DISCARD_IDLE) == [pytest.approx(40.0)]
+        assert sorted(buffer.durations()) == [pytest.approx(40.0), pytest.approx(100.0)]

@@ -1,0 +1,167 @@
+"""Unit tests for the two-phase buffer policy (§3, the contribution)."""
+
+import pytest
+
+from repro.core.manager import TwoPhaseBufferPolicy
+from repro.protocol.messages import DataMessage
+from tests.conftest import FakeBufferHost
+
+
+def msg(seq: int) -> DataMessage:
+    return DataMessage(seq=seq, sender=0)
+
+
+def make_policy(host, c=6.0, t=40.0, ttl=None):
+    policy = TwoPhaseBufferPolicy(idle_threshold=t, long_term_c=c, long_term_ttl=ttl)
+    policy.bind(host)
+    return policy
+
+
+class TestShortTermPhase:
+    def test_receive_buffers_and_arms_idle(self, sim, buffer_host):
+        policy = make_policy(buffer_host, c=0.0)
+        policy.on_receive(msg(1))
+        assert policy.has(1)
+        sim.run()
+        assert not policy.has(1)  # idle at T=40, C=0 -> discarded
+
+    def test_requests_extend_buffering(self, sim, buffer_host):
+        policy = make_policy(buffer_host, c=0.0)
+        policy.on_receive(msg(1))
+        for t in (30.0, 60.0, 90.0):
+            sim.at(t, policy.on_request, 1)
+        sim.run()
+        records = policy.buffer.records
+        assert len(records) == 1
+        assert records[0].discard_time == pytest.approx(130.0)  # 90 + 40
+
+    def test_request_for_unbuffered_seq_ignored(self, sim, buffer_host):
+        policy = make_policy(buffer_host, c=0.0)
+        policy.on_request(99)  # no crash, no state
+        assert policy.occupancy == 0
+
+    def test_duplicate_receive_keeps_original_entry(self, sim, buffer_host):
+        policy = make_policy(buffer_host, c=0.0)
+        policy.on_receive(msg(1))
+        sim.run(until=10.0)
+        policy.on_receive(msg(1))
+        sim.run()
+        assert policy.buffer.records[0].receive_time == 0.0
+
+    def test_trace_records_emitted(self, sim, buffer_host, trace):
+        policy = make_policy(buffer_host, c=0.0)
+        policy.on_receive(msg(1))
+        sim.run()
+        assert trace.count("buffer_add") == 1
+        assert trace.count("buffer_idle") == 1
+        assert trace.count("buffer_discard") == 1
+        discard = trace.first("buffer_discard")
+        assert discard["reason"] == "idle"
+        assert discard["duration"] == pytest.approx(40.0)
+
+
+class TestLongTermPhase:
+    def test_c_equal_region_size_always_promotes(self, sim, buffer_host):
+        buffer_host.set_region_size(5)
+        policy = make_policy(buffer_host, c=10.0)  # P = min(1, 10/5) = 1
+        policy.on_receive(msg(1))
+        sim.run()
+        assert policy.has(1)
+        assert policy.buffer.get(1).long_term
+
+    def test_promotion_probability_is_c_over_n(self, sim, buffer_host):
+        buffer_host.set_region_size(100)
+        policy = make_policy(buffer_host, c=50.0)  # P = 0.5
+        total = 400
+        for seq in range(total):
+            policy.on_receive(msg(seq))
+        sim.run()
+        kept = policy.occupancy
+        assert 140 < kept < 260  # ~Binomial(400, 0.5)
+
+    def test_long_term_entry_survives_idle(self, sim, buffer_host):
+        buffer_host.set_region_size(1)
+        policy = make_policy(buffer_host, c=1.0)
+        policy.on_receive(msg(1))
+        sim.run()
+        assert policy.has(1)
+
+    def test_ttl_discards_unused_long_term_entry(self, sim, buffer_host):
+        buffer_host.set_region_size(1)
+        policy = make_policy(buffer_host, c=1.0, ttl=200.0)
+        policy.on_receive(msg(1))
+        sim.run()
+        assert not policy.has(1)
+        record = policy.buffer.records[0]
+        assert record.reason == "long-term-ttl"
+        assert record.was_long_term
+        # idle at 40, TTL 200 after promotion -> discard at 240
+        assert record.discard_time == pytest.approx(240.0)
+
+    def test_serving_touches_ttl(self, sim, buffer_host, trace):
+        buffer_host.set_region_size(1)
+        policy = make_policy(buffer_host, c=1.0, ttl=200.0)
+        policy.on_receive(msg(1))
+        sim.at(100.0, policy.on_request, 1)  # promoted at 40; used at 100
+        sim.run()
+        record = policy.buffer.records[0]
+        assert record.discard_time == pytest.approx(300.0)  # 100 + 200
+
+    def test_long_term_selected_trace(self, sim, buffer_host, trace):
+        buffer_host.set_region_size(1)
+        policy = make_policy(buffer_host, c=1.0)
+        policy.on_receive(msg(1))
+        sim.run()
+        assert trace.count("long_term_selected") == 1
+
+
+class TestHandoff:
+    def test_drain_returns_only_long_term_entries(self, sim, buffer_host):
+        buffer_host.set_region_size(1)
+        policy = make_policy(buffer_host, c=1.0)
+        policy.on_receive(msg(1))
+        sim.run()  # promoted
+        policy.on_receive(msg(2))  # still short-term
+        drained = policy.drain_for_handoff()
+        assert [d.seq for d in drained] == [1]
+        assert not policy.has(1)
+        assert policy.has(2)
+
+    def test_accept_handoff_installs_long_term(self, sim, buffer_host):
+        policy = make_policy(buffer_host, c=0.0)
+        policy.accept_handoff(msg(5))
+        assert policy.has(5)
+        assert policy.buffer.get(5).long_term
+        sim.run()  # no idle timer should discard it
+        assert policy.has(5)
+
+    def test_accept_handoff_promotes_existing_short_term_entry(self, sim, buffer_host):
+        policy = make_policy(buffer_host, c=0.0)
+        policy.on_receive(msg(5))
+        policy.accept_handoff(msg(5))
+        sim.run()
+        assert policy.has(5)  # idle timer was cancelled by promotion
+
+    def test_handoff_records_reason(self, sim, buffer_host):
+        buffer_host.set_region_size(1)
+        policy = make_policy(buffer_host, c=1.0)
+        policy.on_receive(msg(1))
+        sim.run()
+        policy.drain_for_handoff()
+        assert policy.buffer.records[0].reason == "handoff"
+
+
+class TestLifecycle:
+    def test_bind_required(self):
+        policy = TwoPhaseBufferPolicy()
+        with pytest.raises(RuntimeError):
+            policy.on_receive(msg(1))
+
+    def test_close_cancels_timers_and_drops_state(self, sim, buffer_host):
+        policy = make_policy(buffer_host, c=0.0)
+        policy.on_receive(msg(1))
+        policy.close()
+        sim.run()
+        assert policy.occupancy == 0
+        # No idle trace: the timer was cancelled, not fired.
+        assert buffer_host.trace.count("buffer_idle") == 0

@@ -1,0 +1,91 @@
+"""Unit tests for feedback-based short-term buffering (§3.1)."""
+
+import pytest
+
+from repro.core.short_term import FeedbackIdleTracker
+
+
+@pytest.fixture
+def idle_log():
+    return []
+
+
+@pytest.fixture
+def tracker(sim, idle_log):
+    return FeedbackIdleTracker(sim, idle_threshold=40.0,
+                               on_idle=lambda seq: idle_log.append((sim.now, seq)))
+
+
+class TestIdleDetection:
+    def test_idle_fires_after_threshold(self, sim, tracker, idle_log):
+        tracker.track(1)
+        sim.run()
+        assert idle_log == [(pytest.approx(40.0), 1)]
+
+    def test_refresh_pushes_idle_back(self, sim, tracker, idle_log):
+        """Each request resets the countdown to now + T (the paper's rule)."""
+        tracker.track(1)
+        for t in (10.0, 20.0, 30.0, 60.0):
+            sim.at(t, tracker.refresh, 1)
+        sim.run()
+        assert idle_log == [(pytest.approx(100.0), 1)]  # 60 + 40
+
+    def test_refresh_unknown_seq_returns_false(self, tracker):
+        assert tracker.refresh(99) is False
+
+    def test_refresh_known_seq_returns_true(self, tracker):
+        tracker.track(1)
+        assert tracker.refresh(1) is True
+
+    def test_untrack_cancels_idle(self, sim, tracker, idle_log):
+        tracker.track(1)
+        sim.at(10.0, tracker.untrack, 1)
+        sim.run()
+        assert idle_log == []
+
+    def test_track_is_idempotent(self, sim, tracker, idle_log):
+        tracker.track(1)
+        sim.at(20.0, tracker.track, 1)  # must NOT reset the deadline
+        sim.run()
+        assert idle_log == [(pytest.approx(40.0), 1)]
+
+    def test_independent_messages(self, sim, tracker, idle_log):
+        tracker.track(1)
+        sim.at(10.0, tracker.track, 2)
+        sim.at(30.0, tracker.refresh, 1)
+        sim.run()
+        assert idle_log == [(pytest.approx(50.0), 2), (pytest.approx(70.0), 1)]
+
+    def test_tracking_state(self, sim, tracker):
+        tracker.track(1)
+        assert tracker.is_tracking(1)
+        assert tracker.tracked_count == 1
+        assert tracker.idle_deadline(1) == pytest.approx(40.0)
+        sim.run()
+        assert not tracker.is_tracking(1)
+        assert tracker.tracked_count == 0
+
+    def test_idle_deadline_unknown_raises(self, tracker):
+        with pytest.raises(KeyError):
+            tracker.idle_deadline(99)
+
+    def test_close_cancels_everything(self, sim, tracker, idle_log):
+        tracker.track(1)
+        tracker.track(2)
+        tracker.close()
+        sim.run()
+        assert idle_log == []
+        assert tracker.tracked_count == 0
+
+    def test_invalid_threshold_rejected(self, sim):
+        with pytest.raises(ValueError):
+            FeedbackIdleTracker(sim, idle_threshold=0.0, on_idle=lambda seq: None)
+
+    def test_retrack_after_idle(self, sim, tracker, idle_log):
+        """A message received again after idling gets a fresh countdown."""
+        tracker.track(1)
+        sim.run()
+        assert len(idle_log) == 1
+        tracker.track(1)
+        sim.run()
+        assert idle_log[1] == (pytest.approx(80.0), 1)

@@ -1,0 +1,122 @@
+"""Shape tests for the ablation experiments."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablation_c import run_c_tradeoff
+from repro.experiments.ablation_churn import run_churn_handoff
+from repro.experiments.ablation_hash import run_hash_vs_random
+from repro.experiments.ablation_idle import run_idle_threshold
+from repro.experiments.ablation_lambda import run_lambda_sweep
+from repro.experiments.ablation_search_storm import (
+    run_search_vs_multicast,
+    simulate_multicast_replies,
+)
+
+
+class TestCTradeoff:
+    def test_copies_grow_with_c(self):
+        table = run_c_tradeoff(cs=(1.0, 6.0), seeds=8)
+        copies = table.series["mean long-term copies (buffer cost)"]
+        assert copies[1] > copies[0]
+
+    def test_unserved_falls_with_c(self):
+        table = run_c_tradeoff(cs=(1.0, 8.0), seeds=10)
+        unserved = table.series["unserved within horizon"]
+        assert unserved[0] >= unserved[1]
+
+
+class TestLambdaSweep:
+    def test_requests_grow_with_lambda(self):
+        table = run_lambda_sweep(lams=(0.5, 8.0), seeds=6)
+        requests = table.series["mean remote requests sent"]
+        assert requests[1] > requests[0]
+
+    def test_recovery_speeds_up_with_lambda(self):
+        table = run_lambda_sweep(lams=(0.25, 8.0), seeds=6)
+        latency = table.series["mean time to full region recovery (ms)"]
+        assert latency[0] > latency[1]
+
+
+class TestSearchStorm:
+    def test_multicast_replies_grow_with_buffering_fraction(self):
+        import random
+        low = [simulate_multicast_replies(100, 6, rng=random.Random(s))[0]
+               for s in range(200)]
+        high = [simulate_multicast_replies(100, 100, rng=random.Random(s))[0]
+                for s in range(200)]
+        assert sum(high) / len(high) > 2 * sum(low) / len(low)
+
+    def test_zero_bufferers_no_reply(self):
+        import random
+        replies, first = simulate_multicast_replies(100, 0, rng=random.Random(1))
+        assert replies == 0
+        assert first == float("inf")
+
+    def test_full_table_shapes(self):
+        table = run_search_vs_multicast(buffering_fractions=(0.06, 1.0), seeds=30)
+        storm = table.series["multicast: duplicate replies"]
+        assert storm[1] > storm[0]  # implosion when everyone buffers
+        search = table.series["search: messages"]
+        assert search[1] < search[0]  # search trivial when everyone buffers
+
+
+class TestHashVsRandom:
+    def test_tradeoff_axes(self):
+        table = run_hash_vs_random(n=60, seeds=10)
+        randomized, deterministic = 0, 1
+        hashes = table.series["hash evaluations"]
+        assert hashes[deterministic] > hashes[randomized]
+        messages = table.series["locate messages"]
+        assert messages[randomized] > messages[deterministic]
+
+    def test_both_schemes_serve(self):
+        table = run_hash_vs_random(n=60, seeds=10)
+        assert all(value == 0.0 for value in table.series["unserved"])
+
+
+class TestIdleThreshold:
+    def test_small_t_causes_violations(self):
+        table = run_idle_threshold(thresholds=(10.0, 40.0), seeds=6)
+        violations = table.series["reliability violations"]
+        assert violations[0] > violations[1]
+
+    def test_buffering_time_grows_with_t(self):
+        table = run_idle_threshold(thresholds=(20.0, 160.0), seeds=5)
+        buffering = table.series["mean holder buffering time (ms)"]
+        assert buffering[1] > buffering[0]
+
+
+class TestScaling:
+    def test_recovery_grows_sublinearly(self):
+        from repro.experiments.ablation_scaling import run_scaling
+        table = run_scaling(ns=(25, 100), seeds=4)
+        recovery = table.series["time to full recovery (ms)"]
+        # Epidemic recovery: 4x the members costs at most ~one extra
+        # round or two, nowhere near 4x the time (it can even tie,
+        # since rounds are 10 ms quanta).
+        assert recovery[1] / recovery[0] < 2.0
+
+    def test_copies_independent_of_region_size(self):
+        from repro.experiments.ablation_scaling import run_scaling
+        table = run_scaling(ns=(25, 200), seeds=5)
+        copies = table.series["long-term copies (expect ~C)"]
+        assert abs(copies[0] - copies[1]) < 4.0
+        everyone = table.series["copies if everyone buffered"]
+        assert everyone == [25.0, 200.0]
+
+
+class TestChurnHandoff:
+    def test_handoff_preserves_message(self):
+        table = run_churn_handoff(n=30, seeds=8)
+        survived = table.series["message survived (%)"]
+        graceful, crash = survived[0], survived[1]
+        assert graceful >= 80.0
+        assert crash <= 20.0
+
+    def test_crash_arm_sends_no_handoffs(self):
+        table = run_churn_handoff(n=30, seeds=5)
+        transfers = table.series["handoff transfers"]
+        assert transfers[0] > 0.0
+        assert transfers[1] == 0.0

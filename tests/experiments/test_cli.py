@@ -1,0 +1,63 @@
+"""Tests for the experiment registry and CLI."""
+
+import pytest
+
+from repro.experiments.cli import QUICK_PARAMS, build_parser, main, parse_param
+from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.metrics.report import SeriesTable
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        ids = experiment_ids()
+        for figure in ("fig3", "fig4", "fig6", "fig7", "fig8", "fig9"):
+            assert figure in ids
+
+    def test_every_entry_has_description(self):
+        for experiment in EXPERIMENTS.values():
+            assert experiment.description
+
+    def test_run_experiment_dispatches(self):
+        table = run_experiment("fig4", trials=200)
+        assert isinstance(table, SeriesTable)
+
+    def test_unknown_experiment_raises_with_hint(self):
+        with pytest.raises(KeyError, match="fig4"):
+            run_experiment("nope")
+
+    def test_quick_params_cover_all_experiments(self):
+        assert set(QUICK_PARAMS) == set(experiment_ids())
+
+
+class TestParamParsing:
+    def test_numbers(self):
+        assert parse_param("seeds=10") == ("seeds", 10)
+        assert parse_param("c=2.5") == ("c", 2.5)
+
+    def test_tuples(self):
+        assert parse_param("ks=(1, 2)") == ("ks", (1, 2))
+
+    def test_strings_fall_back(self):
+        assert parse_param("mode=fast") == ("mode", "fast")
+
+    def test_missing_equals_rejected(self):
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_param("seeds")
+
+
+class TestCli:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig6" in output and "ablation_policies" in output
+
+    def test_run_prints_table(self, capsys):
+        assert main(["run", "fig4", "--param", "trials=200"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 4" in output
+        assert "poisson e^-C" in output
+
+    def test_run_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "not-a-figure"])

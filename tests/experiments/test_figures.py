@@ -1,0 +1,128 @@
+"""Shape tests for every regenerated paper figure.
+
+These run reduced repetitions (seconds, not minutes) and assert the
+*shape* properties the paper reports — monotonicity, crossover
+locations, known endpoint values — rather than exact numbers.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+
+
+class TestFig3:
+    def test_poisson_curves_and_simulation_agree(self):
+        table = run_fig3(trials=4_000)
+        analytic = table.series["analytic C=6"]
+        simulated = table.series["simulated C=6 (n=100, 4000 trials)"]
+        for a, s in zip(analytic, simulated):
+            assert a == pytest.approx(s, abs=3.0)  # both in %
+
+    def test_mode_shifts_right_with_c(self):
+        table = run_fig3(trials=500)
+        modes = []
+        for c in (5.0, 6.0, 7.0, 8.0):
+            series = table.series[f"analytic C={c:g}"]
+            modes.append(series.index(max(series)))
+        assert modes == sorted(modes)
+        assert modes[0] in (4, 5)
+
+    def test_probabilities_are_percentages(self):
+        table = run_fig3(trials=500)
+        for series in table.series.values():
+            assert all(0.0 <= value <= 100.0 for value in series)
+
+
+class TestFig4:
+    def test_exponential_decay(self):
+        table = run_fig4(trials=4_000)
+        poisson = table.series["poisson e^-C"]
+        assert poisson[0] == pytest.approx(100 * math.exp(-1), abs=0.01)
+        assert all(a > b for a, b in zip(poisson, poisson[1:]))
+
+    def test_paper_quarter_percent_at_c6(self):
+        table = run_fig4(trials=4_000)
+        assert table.series["poisson e^-C"][-1] == pytest.approx(0.25, abs=0.01)
+
+    def test_simulation_tracks_analytic(self):
+        table = run_fig4(trials=6_000)
+        analytic = table.series["binomial (1-C/n)^n, n=100"]
+        simulated = table.series["simulated (6000 trials)"]
+        for a, s in zip(analytic, simulated):
+            assert s == pytest.approx(a, abs=2.5)
+
+
+class TestFig6:
+    def test_buffering_time_decreases_with_holders(self):
+        table = run_fig6(ks=(1, 8, 64), seeds=6)
+        times = table.series["avg buffering time (ms)"]
+        assert times[0] > times[1] > times[2]
+
+    def test_k1_matches_paper_magnitude(self):
+        """Paper Figure 6: ~110 ms at k=1."""
+        table = run_fig6(ks=(1,), seeds=8)
+        assert 90.0 < table.series["avg buffering time (ms)"][0] < 140.0
+
+    def test_floor_is_idle_threshold(self):
+        table = run_fig6(ks=(64,), seeds=4)
+        assert table.series["avg buffering time (ms)"][0] >= 40.0
+
+
+class TestFig7:
+    def test_received_monotone_to_full_coverage(self):
+        table = run_fig7(seed=0)
+        received = table.series["#received"]
+        assert all(b >= a for a, b in zip(received, received[1:]))
+        assert received[0] == 1.0  # the single initial holder
+        assert received[-1] == 100.0
+
+    def test_buffered_tracks_then_drops(self):
+        """Paper: #buffered ~ #received until ~96% coverage, then falls."""
+        table = run_fig7(seed=0)
+        received = table.series["#received"]
+        buffered = table.series["#buffered"]
+        half_cover_index = next(i for i, v in enumerate(received) if v >= 50)
+        assert buffered[half_cover_index] >= 0.9 * received[half_cover_index]
+        assert buffered[-1] < 20.0  # collapsed by the end of the window
+
+    def test_time_grid(self):
+        table = run_fig7(sample_dt=5.0, horizon=50.0)
+        assert table.xs == [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0,
+                            35.0, 40.0, 45.0, 50.0]
+
+
+class TestFig8:
+    def test_search_time_decreases_with_bufferers(self):
+        table = run_fig8(bs=(1, 5, 10), seeds=30)
+        times = table.series["mean search time (ms)"]
+        assert times[0] > times[1] > times[2]
+
+    def test_ten_bufferers_near_paper_20ms(self):
+        table = run_fig8(bs=(10,), seeds=40)
+        assert 12.0 < table.series["mean search time (ms)"][0] < 30.0
+
+    def test_direct_hit_rate_grows(self):
+        table = run_fig8(bs=(1, 10), seeds=40)
+        hits = table.series["direct hits (time=0)"]
+        assert hits[1] >= hits[0]
+
+
+class TestFig9:
+    def test_sublinear_growth(self):
+        """Paper: 10x region size -> only ~2.2x search time."""
+        table = run_fig9(ns=(100, 1000), seeds=25)
+        growth = table.series["growth vs smallest n"]
+        assert growth[-1] < 5.0
+        assert growth[-1] > 1.2
+
+    def test_buffer_saving_column(self):
+        table = run_fig9(ns=(100, 1000), seeds=5)
+        savings = table.series["buffer-space saving vs buffer-everywhere"]
+        assert savings == [10.0, 100.0]

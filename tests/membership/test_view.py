@@ -1,0 +1,48 @@
+"""Tests for stale membership views (§1 footnote 1)."""
+
+import pytest
+
+from repro.membership.view import StaleView
+
+
+class TestStaleView:
+    def test_snapshot_taken_at_construction(self, sim):
+        source = [1, 2, 3]
+        view = StaleView(sim, lambda: list(source), refresh_interval=100.0)
+        source.append(4)
+        assert view.members() == [1, 2, 3]
+
+    def test_refresh_after_interval(self, sim):
+        source = [1, 2, 3]
+        view = StaleView(sim, lambda: list(source), refresh_interval=100.0)
+        source.append(4)
+        sim.run(until=150.0)
+        assert view.members() == [1, 2, 3, 4]
+
+    def test_forced_refresh(self, sim):
+        source = [1]
+        view = StaleView(sim, lambda: list(source), refresh_interval=1_000.0)
+        source.append(2)
+        view.refresh()
+        assert view.members() == [1, 2]
+
+    def test_staleness_tracks_time(self, sim):
+        view = StaleView(sim, lambda: [1], refresh_interval=1_000.0)
+        sim.run(until=42.0)
+        assert view.staleness == pytest.approx(42.0)
+
+    def test_zero_interval_always_fresh(self, sim):
+        source = [1]
+        view = StaleView(sim, lambda: list(source), refresh_interval=0.0)
+        source.append(2)
+        assert view.members() == [1, 2]
+
+    def test_contains_and_len(self, sim):
+        view = StaleView(sim, lambda: [1, 2], refresh_interval=100.0)
+        assert 1 in view
+        assert 3 not in view
+        assert len(view) == 2
+
+    def test_negative_interval_rejected(self, sim):
+        with pytest.raises(ValueError):
+            StaleView(sim, lambda: [], refresh_interval=-1.0)

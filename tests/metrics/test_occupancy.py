@@ -1,0 +1,58 @@
+"""Tests for buffer-occupancy probes and balance metrics."""
+
+import pytest
+
+from repro.metrics.occupancy import OccupancyProbe, occupancy_balance, occupancy_summary
+
+
+class TestOccupancyProbe:
+    def test_samples_on_schedule(self, sim):
+        value = [0.0]
+        probe = OccupancyProbe(sim, lambda: value[0], period=10.0)
+        sim.at(15.0, lambda: value.__setitem__(0, 5.0))
+        sim.run(until=40.0)
+        probe.stop()
+        series = probe.series
+        assert series.value_at(10.0) == 0.0
+        assert series.value_at(20.0) == 5.0
+
+    def test_average(self, sim):
+        value = [2.0]
+        probe = OccupancyProbe(sim, lambda: value[0], period=10.0)
+        sim.run(until=100.0)
+        probe.stop()
+        assert probe.average() == pytest.approx(2.0)
+
+    def test_stop_halts_sampling(self, sim):
+        count = [0]
+
+        def sample():
+            count[0] += 1
+            return 0.0
+
+        probe = OccupancyProbe(sim, sample, period=10.0)
+        sim.at(35.0, probe.stop)
+        sim.run(until=200.0)
+        assert count[0] == 4  # t = 0, 10, 20, 30
+
+
+class TestBalance:
+    def test_mean_and_max(self):
+        mean_value, max_value = occupancy_balance({1: 2, 2: 4, 3: 6})
+        assert mean_value == pytest.approx(4.0)
+        assert max_value == 6.0
+
+    def test_empty(self):
+        assert occupancy_balance({}) == (0.0, 0.0)
+
+    def test_hotspot_detection(self):
+        """A repair-server profile: one node holds everything."""
+        spread = occupancy_balance({i: 3 for i in range(10)})
+        hotspot = occupancy_balance({0: 30, **{i: 0 for i in range(1, 10)}})
+        assert spread[0] == hotspot[0]  # same mean
+        assert hotspot[1] == 10 * spread[1] / 3 * 3  # far larger peak
+
+    def test_summary(self):
+        summary = occupancy_summary({1: 1, 2: 2, 3: 3})
+        assert summary.count == 3
+        assert summary.maximum == 3.0

@@ -1,0 +1,54 @@
+"""Tests for text-table rendering."""
+
+import pytest
+
+from repro.metrics.report import SeriesTable, format_cell, render_table
+
+
+class TestFormatCell:
+    def test_float_precision(self):
+        assert format_cell(3.14159, precision=2) == "3.14"
+
+    def test_int_unchanged(self):
+        assert format_cell(42) == "42"
+
+    def test_string_unchanged(self):
+        assert format_cell("abc") == "abc"
+
+    def test_bool_is_not_treated_as_float(self):
+        assert format_cell(True) == "True"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["x", "value"], [[1, 10.5], [100, 2.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_contains_all_cells(self):
+        text = render_table(["a"], [[123]])
+        assert "a" in text and "123" in text
+
+
+class TestSeriesTable:
+    def test_rows_align_series(self):
+        table = SeriesTable(title="t", x_label="x", xs=[1, 2])
+        table.add_series("y", [10, 20])
+        table.add_series("z", [30, 40])
+        assert table.rows() == [[1, 10, 30], [2, 20, 40]]
+
+    def test_mismatched_series_rejected(self):
+        table = SeriesTable(title="t", x_label="x", xs=[1, 2])
+        with pytest.raises(ValueError):
+            table.add_series("y", [10])
+
+    def test_to_text_includes_title_and_notes(self):
+        table = SeriesTable(title="My Figure", x_label="x", xs=[1])
+        table.add_series("y", [2])
+        table.notes.append("shape matches")
+        text = table.to_text()
+        assert "My Figure" in text
+        assert "note: shape matches" in text
+        assert "x" in text and "y" in text

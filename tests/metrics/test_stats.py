@@ -1,0 +1,73 @@
+"""Tests for descriptive statistics."""
+
+import pytest
+
+from repro.metrics.stats import Summary, mean, percentile, stdev
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == pytest.approx(2.0)
+
+    def test_median_even_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 3.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 5.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 95) == 7.0
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestStdev:
+    def test_known_value(self):
+        assert stdev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=0.001
+        )
+
+    def test_constant_sample(self):
+        assert stdev([3.0, 3.0, 3.0]) == 0.0
+
+    def test_single_value_is_zero(self):
+        assert stdev([3.0]) == 0.0
+
+
+class TestSummary:
+    def test_from_values(self):
+        summary = Summary.from_values([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.p50 == pytest.approx(3.0)
+
+    def test_accepts_generators(self):
+        summary = Summary.from_values(float(i) for i in range(10))
+        assert summary.count == 10
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Summary.from_values([])
+
+    def test_str_is_readable(self):
+        text = str(Summary.from_values([1.0, 2.0]))
+        assert "mean=" in text and "p95=" in text

@@ -1,0 +1,104 @@
+"""Unit tests for IP-multicast outcome models."""
+
+import random
+
+import pytest
+
+from repro.net.ipmulticast import (
+    BernoulliOutcome,
+    FixedHolderCount,
+    FixedHolders,
+    PerfectOutcome,
+    RegionCorrelatedOutcome,
+)
+from repro.net.topology import chain
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+GROUP = list(range(20))
+
+
+class TestPerfectOutcome:
+    def test_everyone_receives(self, rng):
+        assert PerfectOutcome().holders(1, GROUP, rng) == set(GROUP)
+
+
+class TestFixedHolders:
+    def test_intersects_with_group(self, rng):
+        outcome = FixedHolders({1, 2, 99})
+        assert outcome.holders(1, GROUP, rng) == {1, 2}
+
+    def test_same_for_every_seq(self, rng):
+        outcome = FixedHolders({3})
+        assert outcome.holders(1, GROUP, rng) == outcome.holders(2, GROUP, rng)
+
+
+class TestFixedHolderCount:
+    def test_exactly_k_holders(self, rng):
+        outcome = FixedHolderCount(5)
+        holders = outcome.holders(1, GROUP, rng)
+        assert len(holders) == 5
+        assert holders <= set(GROUP)
+
+    def test_k_larger_than_group_returns_all(self, rng):
+        outcome = FixedHolderCount(100)
+        assert outcome.holders(1, GROUP, rng) == set(GROUP)
+
+    def test_different_messages_get_different_subsets(self, rng):
+        outcome = FixedHolderCount(5)
+        draws = {frozenset(outcome.holders(seq, GROUP, rng)) for seq in range(20)}
+        assert len(draws) > 1
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            FixedHolderCount(-1)
+
+
+class TestBernoulliOutcome:
+    def test_zero_loss_is_perfect(self, rng):
+        assert BernoulliOutcome(0.0).holders(1, GROUP, rng) == set(GROUP)
+
+    def test_full_loss_reaches_nobody(self, rng):
+        assert BernoulliOutcome(1.0).holders(1, GROUP, rng) == set()
+
+    def test_empirical_rate(self, rng):
+        outcome = BernoulliOutcome(0.25)
+        group = list(range(2000))
+        holders = outcome.holders(1, group, rng)
+        assert 0.70 < len(holders) / len(group) < 0.80
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            BernoulliOutcome(-0.1)
+
+
+class TestRegionCorrelatedOutcome:
+    def test_regional_loss_drops_whole_regions(self, rng):
+        hierarchy = chain([4, 4, 4])
+        outcome = RegionCorrelatedOutcome(hierarchy, region_loss=1.0, sender=0)
+        holders = outcome.holders(1, hierarchy.nodes, rng)
+        # Sender's region is protected; every other region is lost.
+        assert holders == set(hierarchy.regions[0].members)
+
+    def test_sender_region_never_suffers_regional_loss(self, rng):
+        hierarchy = chain([3, 3])
+        outcome = RegionCorrelatedOutcome(hierarchy, region_loss=1.0, sender=0)
+        for seq in range(10):
+            holders = outcome.holders(seq, hierarchy.nodes, rng)
+            assert set(hierarchy.regions[0].members) <= holders
+
+    def test_sender_always_holds(self, rng):
+        hierarchy = chain([3, 3])
+        outcome = RegionCorrelatedOutcome(hierarchy, receiver_loss=1.0, sender=0)
+        holders = outcome.holders(1, hierarchy.nodes, rng)
+        assert holders == {0}
+
+    def test_receiver_loss_within_surviving_region(self, rng):
+        hierarchy = chain([100, 2])
+        outcome = RegionCorrelatedOutcome(hierarchy, receiver_loss=0.5, sender=0)
+        holders = outcome.holders(1, hierarchy.regions[0].members, rng)
+        assert 20 < len(holders) < 80

@@ -1,0 +1,83 @@
+"""Unit tests for latency models."""
+
+import pytest
+
+from repro.net.latency import (
+    ConstantLatency,
+    HierarchicalLatency,
+    JitteredLatency,
+    PairwiseLatency,
+)
+from repro.net.topology import chain, single_region
+from repro.sim import RandomStreams
+
+
+class TestConstantLatency:
+    def test_one_way_and_rtt(self):
+        model = ConstantLatency(5.0)
+        assert model.one_way(0, 1) == 5.0
+        assert model.rtt(0, 1) == 10.0  # paper's 10 ms intra-region RTT
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+
+
+class TestHierarchicalLatency:
+    def test_intra_region_default_matches_paper(self):
+        hierarchy = single_region(4)
+        model = HierarchicalLatency(hierarchy)
+        assert model.rtt(0, 1) == pytest.approx(10.0)
+
+    def test_inter_region_scales_with_hops(self):
+        hierarchy = chain([2, 2, 2])
+        model = HierarchicalLatency(hierarchy, intra_one_way=5.0, inter_one_way=40.0)
+        assert model.one_way(0, 2) == pytest.approx(40.0)   # one hop
+        assert model.one_way(0, 4) == pytest.approx(80.0)   # two hops
+        assert model.one_way(4, 0) == pytest.approx(80.0)   # symmetric
+
+    def test_inter_region_exceeds_intra(self):
+        """§3.2: 'inter-region latency can be much larger than intra'."""
+        hierarchy = chain([2, 2])
+        model = HierarchicalLatency(hierarchy)
+        assert model.one_way(0, 2) > model.one_way(0, 1)
+
+
+class TestJitteredLatency:
+    def test_jitter_stays_in_band(self):
+        streams = RandomStreams(3)
+        model = JitteredLatency(ConstantLatency(10.0), jitter=0.2,
+                                rng=streams.stream("jitter"))
+        values = [model.one_way(0, 1) for _ in range(200)]
+        assert all(8.0 <= value <= 12.0 for value in values)
+        assert len(set(values)) > 1  # actually random
+
+    def test_rtt_reports_base_estimate(self):
+        streams = RandomStreams(3)
+        model = JitteredLatency(ConstantLatency(10.0), jitter=0.5,
+                                rng=streams.stream("jitter"))
+        assert model.rtt(0, 1) == pytest.approx(20.0)
+
+    def test_invalid_jitter_rejected(self):
+        streams = RandomStreams(3)
+        with pytest.raises(ValueError):
+            JitteredLatency(ConstantLatency(10.0), jitter=1.0,
+                            rng=streams.stream("jitter"))
+
+
+class TestPairwiseLatency:
+    def test_default_applies_to_unknown_pairs(self):
+        model = PairwiseLatency(default_one_way=5.0)
+        assert model.one_way(1, 2) == 5.0
+
+    def test_set_pair_symmetric(self):
+        model = PairwiseLatency()
+        model.set_pair(1, 2, 50.0)
+        assert model.one_way(1, 2) == 50.0
+        assert model.one_way(2, 1) == 50.0
+
+    def test_set_pair_asymmetric(self):
+        model = PairwiseLatency()
+        model.set_pair(1, 2, 50.0, symmetric=False)
+        assert model.one_way(1, 2) == 50.0
+        assert model.one_way(2, 1) == model.default_one_way

@@ -1,0 +1,131 @@
+"""Unit tests for loss models."""
+
+import random
+
+import pytest
+
+from repro.net.loss import (
+    BernoulliLoss,
+    GilbertElliottLoss,
+    NoLoss,
+    ReceiverSetLoss,
+    RegionCorrelatedLoss,
+)
+from repro.net.topology import chain
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestNoLoss:
+    def test_never_drops(self, rng):
+        model = NoLoss()
+        assert not any(model.is_lost(0, i, "data", rng) for i in range(100))
+
+
+class TestBernoulliLoss:
+    def test_zero_probability_never_drops(self, rng):
+        model = BernoulliLoss(0.0)
+        assert not any(model.is_lost(0, i, "data", rng) for i in range(100))
+
+    def test_one_probability_always_drops_data(self, rng):
+        model = BernoulliLoss(1.0)
+        assert all(model.is_lost(0, i, "data", rng) for i in range(100))
+
+    def test_control_is_reliable_by_default(self, rng):
+        """The paper's §4 assumption: requests/repairs are not lost."""
+        model = BernoulliLoss(1.0)
+        assert not model.is_lost(0, 1, "control", rng)
+
+    def test_kinds_override(self, rng):
+        model = BernoulliLoss(1.0, kinds={"control"})
+        assert model.is_lost(0, 1, "control", rng)
+        assert not model.is_lost(0, 1, "data", rng)
+
+    def test_empirical_rate(self, rng):
+        model = BernoulliLoss(0.3)
+        drops = sum(model.is_lost(0, i, "data", rng) for i in range(10_000))
+        assert 0.27 < drops / 10_000 < 0.33
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BernoulliLoss(1.5)
+
+
+class TestReceiverSetLoss:
+    def test_only_listed_receivers_drop(self, rng):
+        model = ReceiverSetLoss({3, 5})
+        assert model.is_lost(0, 3, "data", rng)
+        assert model.is_lost(0, 5, "data", rng)
+        assert not model.is_lost(0, 4, "data", rng)
+
+    def test_control_untouched(self, rng):
+        model = ReceiverSetLoss({3})
+        assert not model.is_lost(0, 3, "control", rng)
+
+
+class TestRegionCorrelatedLoss:
+    def test_whole_region_drops_together(self, rng):
+        hierarchy = chain([3, 3])
+        model = RegionCorrelatedLoss(hierarchy, region_loss=1.0)
+        model.new_message()
+        outcomes = [model.is_lost(0, node, "data", rng) for node in hierarchy.nodes]
+        assert all(outcomes)
+
+    def test_new_message_resets_outcomes(self, rng):
+        hierarchy = chain([2, 2])
+        model = RegionCorrelatedLoss(hierarchy, region_loss=0.5)
+        results = set()
+        for _ in range(50):
+            model.new_message()
+            results.add(model.is_lost(0, 2, "data", rng))
+        assert results == {True, False}  # both outcomes occur across messages
+
+    def test_outcome_is_cached_within_message(self, rng):
+        hierarchy = chain([2, 2])
+        model = RegionCorrelatedLoss(hierarchy, region_loss=0.5)
+        for _ in range(20):
+            model.new_message()
+            first = model.is_lost(0, 2, "data", rng)
+            second = model.is_lost(0, 3, "data", rng)
+            assert first == second  # same region, same message
+
+    def test_receiver_loss_is_independent(self, rng):
+        hierarchy = chain([2, 50])
+        model = RegionCorrelatedLoss(hierarchy, receiver_loss=0.5)
+        model.new_message()
+        outcomes = [model.is_lost(0, node, "data", rng)
+                    for node in hierarchy.regions[1].members]
+        assert 5 < sum(outcomes) < 45
+
+
+class TestGilbertElliott:
+    def test_good_state_rarely_drops(self, rng):
+        model = GilbertElliottLoss(p_good_to_bad=0.0, p_good=0.0)
+        assert not any(model.is_lost(0, 1, "data", rng) for _ in range(100))
+
+    def test_bursty_losses_cluster(self, rng):
+        model = GilbertElliottLoss(
+            p_good_to_bad=0.05, p_bad_to_good=0.2, p_good=0.0, p_bad=1.0
+        )
+        outcomes = [model.is_lost(0, 1, "data", rng) for _ in range(5_000)]
+        losses = sum(outcomes)
+        assert losses > 0
+        # Burstiness: P(loss | previous loss) should far exceed the
+        # marginal loss rate.
+        follow = sum(1 for a, b in zip(outcomes, outcomes[1:]) if a and b)
+        conditional = follow / max(1, losses)
+        marginal = losses / len(outcomes)
+        assert conditional > marginal * 2
+
+    def test_links_have_independent_state(self, rng):
+        model = GilbertElliottLoss(p_good_to_bad=1.0, p_bad_to_good=0.0,
+                                   p_good=0.0, p_bad=1.0)
+        assert model.is_lost(0, 1, "data", rng)  # link (0,1) now bad
+        # A different link starts in its own good state but flips
+        # immediately too (p_good_to_bad=1), so both drop; verify the
+        # state dict tracks them separately.
+        model.is_lost(0, 2, "data", rng)
+        assert ((0, 1) in model._bad_state) and ((0, 2) in model._bad_state)

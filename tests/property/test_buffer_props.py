@@ -1,0 +1,91 @@
+"""Property-based tests for the two-phase buffer policy."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.manager import TwoPhaseBufferPolicy
+from repro.protocol.messages import DataMessage
+from repro.sim import Simulator, TraceLog
+from tests.conftest import FakeBufferHost
+
+
+def build_policy(c=0.0, t=40.0, region=100, seed=0):
+    sim = Simulator()
+    trace = TraceLog()
+    host = FakeBufferHost(sim, trace, region_size=region, seed=seed)
+    policy = TwoPhaseBufferPolicy(idle_threshold=t, long_term_c=c)
+    policy.bind(host)
+    return sim, policy
+
+
+request_times = st.lists(
+    st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+    min_size=0, max_size=30,
+)
+
+
+class TestTwoPhaseProperties:
+    @given(times=request_times)
+    @settings(max_examples=80, deadline=None)
+    def test_discard_happens_exactly_t_after_last_request(self, times):
+        """Invariant of §3.1: with C = 0, the discard instant is
+        max(receive, last-request-before-discard) + T."""
+        sim, policy = build_policy(c=0.0, t=40.0)
+        policy.on_receive(DataMessage(seq=1, sender=0))
+        for time in times:
+            sim.at(time, policy.on_request, 1)
+        sim.run()
+        assert not policy.has(1)
+        [record] = policy.buffer.records
+        # Reconstruct the expected discard point: requests refresh only
+        # while the entry is still buffered.  A request landing exactly
+        # at the deadline loses the tie — the idle event was scheduled
+        # first and the engine fires equal-time events in schedule
+        # order — so the comparison is strict.
+        deadline = 40.0
+        for time in sorted(times):
+            if time < deadline:
+                deadline = time + 40.0
+        assert abs(record.discard_time - deadline) < 1e-6
+
+    @given(times=request_times)
+    @settings(max_examples=50, deadline=None)
+    def test_buffering_duration_at_least_t(self, times):
+        sim, policy = build_policy(c=0.0, t=40.0)
+        policy.on_receive(DataMessage(seq=1, sender=0))
+        for time in times:
+            sim.at(time, policy.on_request, 1)
+        sim.run()
+        assert policy.buffer.records[0].duration >= 40.0
+
+    @given(
+        seqs=st.lists(st.integers(min_value=1, max_value=30),
+                      min_size=1, max_size=30, unique=True),
+        c=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_message_eventually_leaves_or_is_long_term(self, seqs, c):
+        sim, policy = build_policy(c=c, t=40.0, region=20)
+        for seq in seqs:
+            policy.on_receive(DataMessage(seq=seq, sender=0))
+        sim.run()
+        for seq in seqs:
+            entry = policy.buffer.get(seq)
+            if entry is not None:
+                assert entry.long_term  # survivors must be long-term
+        discarded = {record.seq for record in policy.buffer.records}
+        surviving = set(policy.buffer.seqs())
+        assert discarded | surviving == set(seqs)
+        assert discarded.isdisjoint(surviving)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_close_always_leaves_clean_state(self, seed):
+        sim, policy = build_policy(c=5.0, t=40.0, region=10, seed=seed)
+        for seq in range(1, 10):
+            policy.on_receive(DataMessage(seq=seq, sender=0))
+        sim.run(until=20.0)
+        policy.close()
+        sim.run()
+        assert policy.occupancy == 0
+        assert policy.short_term.tracked_count == 0

@@ -1,0 +1,68 @@
+"""Property-based tests for the closed-form analysis."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.formulas import (
+    bufferer_pmf_binomial,
+    bufferer_pmf_poisson,
+    prob_no_bufferer,
+    prob_no_bufferer_binomial,
+    prob_no_request,
+    prob_no_request_limit,
+)
+
+cs = st.floats(min_value=0.0, max_value=20.0, allow_nan=False)
+ps = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+ns = st.integers(min_value=2, max_value=5_000)
+
+
+class TestProbabilityBounds:
+    @given(n=ns, p=ps)
+    @settings(max_examples=200, deadline=None)
+    def test_no_request_is_a_probability(self, n, p):
+        value = prob_no_request(n, p)
+        assert 0.0 <= value <= 1.0
+
+    @given(p=ps)
+    @settings(max_examples=100, deadline=None)
+    def test_limit_is_a_probability(self, p):
+        assert 0.0 < prob_no_request_limit(p) <= 1.0
+
+    @given(n=st.integers(min_value=50, max_value=5_000), p=ps)
+    @settings(max_examples=100, deadline=None)
+    def test_exact_close_to_limit_for_large_n(self, n, p):
+        assert abs(prob_no_request(n, p) - prob_no_request_limit(p)) < 0.05
+
+    @given(n=ns, p1=ps, p2=ps)
+    @settings(max_examples=100, deadline=None)
+    def test_monotone_in_missing_fraction(self, n, p1, p2):
+        low, high = sorted((p1, p2))
+        assert prob_no_request(n, high) <= prob_no_request(n, low) + 1e-12
+
+
+class TestPmfProperties:
+    @given(c=cs, k=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=200, deadline=None)
+    def test_poisson_pmf_in_unit_interval(self, c, k):
+        assert 0.0 <= bufferer_pmf_poisson(c, k) <= 1.0
+
+    @given(c=cs, n=st.integers(min_value=1, max_value=300))
+    @settings(max_examples=100, deadline=None)
+    def test_binomial_pmf_normalised(self, c, n):
+        total = sum(bufferer_pmf_binomial(n, c, k) for k in range(n + 1))
+        assert abs(total - 1.0) < 1e-9
+
+    @given(c=st.floats(min_value=0.1, max_value=15.0), n=st.integers(min_value=200, max_value=2_000))
+    @settings(max_examples=60, deadline=None)
+    def test_no_bufferer_binomial_below_poisson(self, c, n):
+        """(1 - C/n)^n <= e^{-C}: the finite-region probability of an
+        unbuffered message never exceeds the Poisson estimate."""
+        assert prob_no_bufferer_binomial(n, c) <= prob_no_bufferer(c) + 1e-12
+
+    @given(c=cs)
+    @settings(max_examples=100, deadline=None)
+    def test_no_bufferer_equals_pmf_at_zero(self, c):
+        assert prob_no_bufferer(c) == bufferer_pmf_poisson(c, 0)

@@ -1,0 +1,78 @@
+"""Property-based tests for gap-based loss detection."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.loss_detection import GapTracker
+
+seq_lists = st.lists(st.integers(min_value=1, max_value=60),
+                     min_size=1, max_size=80)
+
+
+class TestGapTrackerProperties:
+    @given(seqs=seq_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_every_gap_reported_exactly_once(self, seqs):
+        tracker = GapTracker()
+        reported = []
+        for seq in seqs:
+            reported.extend(tracker.on_receive(seq))
+        assert len(reported) == len(set(reported))
+        # Everything reported is genuinely below the highest seen and
+        # was missing at report time.
+        highest = max(seqs)
+        assert all(1 <= missing <= highest for missing in reported)
+
+    @given(seqs=seq_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_received_plus_missing_covers_prefix(self, seqs):
+        tracker = GapTracker()
+        for seq in seqs:
+            tracker.on_receive(seq)
+        covered = tracker.received | set(tracker.missing())
+        assert covered >= set(range(1, tracker.highest + 1))
+
+    @given(seqs=st.permutations(list(range(1, 21))))
+    @settings(max_examples=50, deadline=None)
+    def test_any_arrival_order_converges_clean(self, seqs):
+        """Delivering a dense prefix in any order leaves no missing."""
+        tracker = GapTracker()
+        for seq in seqs:
+            tracker.on_receive(seq)
+        assert tracker.missing() == []
+        assert tracker.contiguous_prefix() == 20
+
+    @given(seqs=seq_lists, advertised=st.integers(min_value=1, max_value=80))
+    @settings(max_examples=100, deadline=None)
+    def test_advertise_never_unreports(self, seqs, advertised):
+        tracker = GapTracker()
+        for seq in seqs:
+            tracker.on_receive(seq)
+        before = set(tracker.missing())
+        tracker.on_advertise(advertised)
+        after = set(tracker.missing())
+        assert before <= after
+
+    @given(seqs=seq_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_contiguous_prefix_invariant(self, seqs):
+        tracker = GapTracker()
+        for seq in seqs:
+            tracker.on_receive(seq)
+        prefix = tracker.contiguous_prefix()
+        assert all(tracker.is_received(seq) for seq in range(1, prefix + 1))
+        assert not tracker.is_received(prefix + 1)
+
+    @given(seqs=seq_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_duplicates_never_change_state(self, seqs):
+        tracker_a = GapTracker()
+        for seq in seqs:
+            tracker_a.on_receive(seq)
+        tracker_b = GapTracker()
+        for seq in seqs:
+            tracker_b.on_receive(seq)
+            tracker_b.on_receive(seq)  # duplicate delivery
+        assert tracker_a.received == tracker_b.received
+        assert tracker_a.missing() == tracker_b.missing()
+        assert tracker_a.contiguous_prefix() == tracker_b.contiguous_prefix()

@@ -1,0 +1,164 @@
+"""Member state-machine tests: the search for bufferers (§3.3),
+including a deterministic reproduction of the paper's Figure 5 walk."""
+
+import pytest
+
+from repro.net.latency import HierarchicalLatency, PairwiseLatency
+from repro.net.topology import chain
+from repro.protocol.config import RrmpConfig
+from repro.protocol.messages import DataMessage, SearchRequest
+from repro.protocol.rrmp import RrmpSimulation
+from repro.workloads.scenarios import run_search
+
+
+class TestSearchBasics:
+    def test_request_at_bufferer_serves_instantly(self):
+        """Footnote 5: search time is 0 if the request hits a bufferer."""
+        found = False
+        for seed in range(30):
+            result = run_search(10, bufferers=9, seed=seed)
+            assert result.search_time is not None
+            if result.search_time == 0.0:
+                assert result.served_via == "buffer"
+                found = True
+                break
+        assert found, "with 9/10 bufferers some run must hit one directly"
+
+    def test_search_finds_single_bufferer(self):
+        result = run_search(20, bufferers=1, seed=3)
+        assert result.search_time is not None
+        assert result.served_via in ("search", "buffer")
+
+    def test_requester_eventually_receives_repair(self):
+        result = run_search(20, bufferers=2, seed=5)
+        member = result.simulation.members[result.requester]
+        assert member.has_received(1)
+
+    def test_have_reply_announcements_are_bounded(self):
+        result = run_search(30, bufferers=3, seed=2)
+        have_replies = result.simulation.network.stats.sent_by_type.get("HaveReply", 0)
+        # Each announcement is one regional multicast = n-1 unicasts.
+        # Distinct bufferers contacted concurrently may each announce
+        # once (a benign race), but announcements never exceed the
+        # bufferer count and are never re-multicast per straggler.
+        assert have_replies % 29 == 0
+        assert have_replies <= 3 * 29
+
+    def test_search_messages_stop_after_serve(self):
+        result = run_search(30, bufferers=3, seed=2, horizon=5_000.0)
+        serve_time = result.served_at
+        assert serve_time is not None
+        late = [
+            record for record in result.simulation.trace.of_kind("search_forwarded")
+            if record.time > serve_time + 50.0
+        ]
+        assert late == []
+
+    def test_more_bufferers_search_faster_on_average(self):
+        def mean_time(b):
+            times = []
+            for seed in range(25):
+                result = run_search(50, b, seed=seed)
+                times.append(result.search_time)
+            return sum(times) / len(times)
+
+        assert mean_time(10) < mean_time(1)
+
+
+class TestFigure5Walkthrough:
+    """Reproduce the paper's Figure 5: 4 members, 5 ms pairwise latency,
+    p1 gets the remote request at t=0, p4 is the only bufferer.
+
+    The paper's walk: p1 -> p2 (5 ms), p2 -> p3 (10 ms), p1 times out at
+    10 ms and asks p4, which receives the request at 15 ms, serves the
+    remote member and multicasts "I have the message" at 15 ms.
+    """
+
+    def build(self):
+        hierarchy = chain([4, 1])
+        config = RrmpConfig(session_interval=None)
+        latency = HierarchicalLatency(hierarchy, intra_one_way=5.0,
+                                      inter_one_way=500.0)
+        simulation = RrmpSimulation(hierarchy, config=config, seed=0,
+                                    latency=latency)
+        members = hierarchy.regions[0].members  # p1..p4 = nodes 0..3
+        data = DataMessage(seq=1, sender=simulation.sender.node_id)
+        for node in members[:3]:
+            simulation.members[node].force_received(data)  # discarded
+        simulation.members[members[3]].install_long_term(data)  # p4 buffers
+        return simulation, members, data
+
+    def deliver_request(self, simulation, target):
+        remote = simulation.hierarchy.regions[1].members[0]
+        request = SearchRequest(seq=1, waiters=(remote,), forwarder=remote)
+        simulation.members[target].on_packet(
+            type("FakePacket", (), {"payload": request})()
+        )
+
+    def test_walkthrough_terminates_at_bufferer(self):
+        simulation, members, _data = self.build()
+        p1, p4 = members[0], members[3]
+        # Deliver the remote search request directly to p1 at t=0.
+        self.deliver_request(simulation, p1)
+        simulation.run(duration=200.0)
+        served = simulation.trace.first("search_served")
+        assert served is not None
+        assert served["node"] == p4
+        # Timing: each hop is 5 ms and each timeout is one 10 ms RTT,
+        # so the serve lands on a 5 ms grid within a few rounds.
+        assert served.time == pytest.approx(served.time // 5 * 5.0)
+        assert served.time <= 60.0
+
+    def test_have_reply_ends_all_searches(self):
+        simulation, members, _data = self.build()
+        self.deliver_request(simulation, members[0])
+        simulation.run(duration=500.0)
+        for node in members[:3]:
+            assert simulation.members[node].search.active_seqs() == []
+
+    def test_searchers_join_over_time(self):
+        """'As time goes by, more and more members will join the search.'"""
+        simulation, members, _data = self.build()
+        self.deliver_request(simulation, members[0])
+        simulation.run(duration=500.0)
+        joined = {record["node"] for record in simulation.trace.of_kind("search_joined")}
+        assert members[0] in joined
+        assert len(joined) >= 2
+
+
+class TestOwnerHints:
+    def test_redirect_after_have_reply(self):
+        """In-flight stragglers are redirected, not re-seeded (§3.3)."""
+        result = run_search(40, bufferers=2, seed=7, horizon=3_000.0)
+        simulation = result.simulation
+        # Inject a second remote request after the search completed:
+        requester = result.requester
+        hierarchy = simulation.hierarchy
+        target = [n for n in hierarchy.regions[0].members
+                  if not simulation.members[n].is_buffering(1)][0]
+        from repro.protocol.messages import RemoteRequest
+        simulation.members[target].on_packet(
+            type("FakePacket", (), {
+                "payload": RemoteRequest(seq=1, requester=requester)
+            })()
+        )
+        before = simulation.trace.count("search_forwarded")
+        simulation.run(duration=500.0)
+        after = simulation.trace.count("search_forwarded")
+        # The hint short-circuits: no new search rounds needed.
+        assert after == before
+        assert simulation.trace.count("search_redirected") >= 1
+
+    def test_redirect_hop_limit_breaks_stale_chains(self):
+        result = run_search(10, bufferers=1, seed=1)
+        simulation = result.simulation
+        member = simulation.members[simulation.hierarchy.regions[0].members[0]]
+        # Poison the hint to point at a member that has discarded.
+        victim = simulation.hierarchy.regions[0].members[1]
+        member._search_owner_hint[1] = victim
+        simulation.members[victim]._search_owner_hint[1] = member.node_id
+        request = SearchRequest(seq=1, waiters=(99,), forwarder=99,
+                                hops=member._MAX_REDIRECT_HOPS)
+        member.on_packet(type("FakePacket", (), {"payload": request})())
+        # At the hop limit the member must fall back to searching.
+        assert member.search.is_searching(1) or member.is_buffering(1)

@@ -1,0 +1,147 @@
+"""Tests for adaptive RTT estimation."""
+
+import pytest
+
+from repro.net.latency import JitteredLatency, ConstantLatency
+from repro.net.topology import single_region
+from repro.protocol.config import RrmpConfig
+from repro.protocol.messages import DataMessage
+from repro.protocol.rrmp import RrmpSimulation
+from repro.protocol.rtt import RttEstimator, attach_rtt_estimation
+from repro.sim import RandomStreams
+
+
+class TestRttEstimator:
+    def test_unknown_peer_uses_prior(self):
+        estimator = RttEstimator(initial_rtt=10.0)
+        assert estimator.rtt(5) == 10.0
+        assert estimator.timeout(5) == 10.0
+
+    def test_first_sample_becomes_estimate(self):
+        estimator = RttEstimator()
+        estimator.record_sample(1, 20.0)
+        assert estimator.rtt(1) == 20.0
+        # RFC 6298 prior: rttvar = sample/2 -> rto = 20 + 4*10 = 60.
+        assert estimator.timeout(1) == pytest.approx(60.0)
+
+    def test_converges_to_stable_rtt(self):
+        estimator = RttEstimator(initial_rtt=100.0)
+        for _ in range(100):
+            estimator.record_sample(1, 10.0)
+        assert estimator.rtt(1) == pytest.approx(10.0, abs=0.5)
+        # Variance collapses, so the timeout approaches the RTT.
+        assert estimator.timeout(1) == pytest.approx(10.0, abs=2.0)
+
+    def test_variance_inflates_timeout(self):
+        steady = RttEstimator()
+        jittery = RttEstimator()
+        for index in range(50):
+            steady.record_sample(1, 10.0)
+            jittery.record_sample(1, 5.0 if index % 2 == 0 else 15.0)
+        assert jittery.timeout(1) > steady.timeout(1)
+        assert jittery.rtt(1) == pytest.approx(10.0, abs=2.0)
+
+    def test_estimates_are_per_peer(self):
+        estimator = RttEstimator()
+        estimator.record_sample(1, 10.0)
+        estimator.record_sample(2, 80.0)
+        assert estimator.rtt(1) < estimator.rtt(2)
+        assert estimator.known_peers() == 2
+
+    def test_min_timeout_clamp(self):
+        estimator = RttEstimator(min_timeout=5.0)
+        for _ in range(100):
+            estimator.record_sample(1, 0.1)
+        assert estimator.timeout(1) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RttEstimator(initial_rtt=0.0)
+        with pytest.raises(ValueError):
+            RttEstimator(alpha=1.0)
+        estimator = RttEstimator()
+        with pytest.raises(ValueError):
+            estimator.record_sample(1, -1.0)
+
+    def test_sample_count(self):
+        estimator = RttEstimator()
+        assert estimator.sample_count(1) == 0
+        estimator.record_sample(1, 10.0)
+        estimator.record_sample(1, 12.0)
+        assert estimator.sample_count(1) == 2
+
+
+class TestMeasuringRttProvider:
+    def build(self, jitter=0.0, seed=0):
+        streams = RandomStreams(seed)
+        latency = ConstantLatency(5.0)
+        if jitter:
+            latency = JitteredLatency(latency, jitter=jitter,
+                                      rng=streams.stream("jitter"))
+        simulation = RrmpSimulation(
+            single_region(20),
+            config=RrmpConfig(session_interval=None),
+            seed=seed,
+            latency=latency,
+        )
+        return simulation
+
+    def inject_loss(self, simulation):
+        data = DataMessage(seq=1, sender=simulation.sender.node_id)
+        nodes = simulation.hierarchy.nodes
+        simulation.members[nodes[0]].inject_receive(data)
+        for node in nodes[1:]:
+            simulation.members[node].inject_loss_detection(1)
+
+    def test_estimator_learns_from_repairs(self):
+        simulation = self.build()
+        member = simulation.members[5]
+        provider = attach_rtt_estimation(member, initial_rtt=50.0)
+        self.inject_loss(simulation)
+        simulation.run(duration=1_000.0)
+        assert member.has_received(1)
+        # The member's request was answered: at least one sample, and
+        # the estimate moved from the 50 ms prior toward the true 10 ms.
+        assert provider.estimator.known_peers() >= 1
+        peers = [n for n in simulation.hierarchy.nodes if n != member.node_id]
+        learned = [provider.estimator.rtt(p) for p in peers
+                   if provider.estimator.sample_count(p) > 0]
+        assert learned and all(abs(value - 10.0) < 1.0 for value in learned)
+
+    def test_recovery_still_converges_with_estimated_timers(self):
+        simulation = self.build(jitter=0.3, seed=4)
+        for node in simulation.hierarchy.nodes:
+            attach_rtt_estimation(simulation.members[node], initial_rtt=10.0)
+        self.inject_loss(simulation)
+        simulation.run(duration=2_000.0)
+        assert simulation.all_received(1)
+
+    def test_bad_prior_self_corrects_over_a_stream(self):
+        """With a 1 ms prior the first rounds over-fire; samples pull
+        the timeout back up so later recoveries stop double-requesting."""
+        simulation = RrmpSimulation(
+            single_region(20),
+            config=RrmpConfig(session_interval=25.0),  # tail-loss detection
+            seed=6,
+            latency=ConstantLatency(5.0),
+        )
+        providers = {
+            node: attach_rtt_estimation(simulation.members[node], initial_rtt=1.0)
+            for node in simulation.hierarchy.nodes
+        }
+        sender = simulation.sender
+        from repro.net.ipmulticast import FixedHolderCount
+        sender.outcome = FixedHolderCount(5)
+        for _ in range(10):
+            sender.multicast()
+            simulation.run(duration=300.0)
+        assert all(simulation.all_received(seq) for seq in range(1, 11))
+        sampled = [p for p in providers.values() if p.estimator.known_peers()]
+        assert sampled
+        for provider in sampled:
+            peers_with_samples = [
+                peer for peer in simulation.hierarchy.nodes
+                if provider.estimator.sample_count(peer) > 0
+            ]
+            for peer in peers_with_samples:
+                assert provider.estimator.timeout(peer) > 5.0

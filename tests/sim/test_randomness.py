@@ -1,0 +1,65 @@
+"""Unit tests for deterministic named RNG streams."""
+
+from repro.sim import RandomStreams, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, ("a", 2)) == derive_seed(1, ("a", 2))
+
+    def test_different_names_differ(self):
+        assert derive_seed(1, ("a",)) != derive_seed(1, ("b",))
+
+    def test_different_master_seeds_differ(self):
+        assert derive_seed(1, ("a",)) != derive_seed(2, ("a",))
+
+    def test_name_parts_are_not_concatenated(self):
+        # ("ab",) must differ from ("a", "b")
+        assert derive_seed(1, ("ab",)) != derive_seed(1, ("a", "b"))
+
+    def test_int_and_str_parts_distinguished(self):
+        assert derive_seed(1, (1,)) != derive_seed(1, ("1",))
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_instance(self):
+        streams = RandomStreams(42)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_streams_are_reproducible_across_factories(self):
+        a = RandomStreams(42).stream("member", 3).random()
+        b = RandomStreams(42).stream("member", 3).random()
+        assert a == b
+
+    def test_streams_are_independent(self):
+        streams = RandomStreams(42)
+        a = [streams.stream("a").random() for _ in range(10)]
+        b = [streams.stream("b").random() for _ in range(10)]
+        assert a != b
+
+    def test_consuming_one_stream_does_not_affect_another(self):
+        reference = RandomStreams(7)
+        baseline = [reference.stream("target").random() for _ in range(3)]
+        streams = RandomStreams(7)
+        for _ in range(1000):
+            streams.stream("noise").random()
+        observed = [streams.stream("target").random() for _ in range(3)]
+        assert observed == baseline
+
+    def test_spawn_creates_disjoint_namespace(self):
+        parent = RandomStreams(42)
+        child = parent.spawn("rep", 1)
+        assert child.master_seed != parent.master_seed
+        assert child.stream("x").random() != parent.stream("x").random()
+
+    def test_spawn_is_deterministic(self):
+        a = RandomStreams(42).spawn("rep", 1).stream("x").random()
+        b = RandomStreams(42).spawn("rep", 1).stream("x").random()
+        assert a == b
+
+    def test_streams_cover_unit_interval(self):
+        stream = RandomStreams(0).stream("uniform")
+        values = [stream.random() for _ in range(2000)]
+        assert 0.4 < sum(values) / len(values) < 0.6
+        assert min(values) >= 0.0
+        assert max(values) < 1.0

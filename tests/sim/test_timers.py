@@ -1,0 +1,121 @@
+"""Unit tests for Timer and PeriodicTask."""
+
+import pytest
+
+from repro.sim import PeriodicTask, Timer, call_repeatedly
+
+
+class TestTimer:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(10.0)
+        sim.run()
+        assert fired == [pytest.approx(10.0)]
+
+    def test_restart_pushes_deadline_back(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(10.0)
+        sim.after(5.0, timer.start, 10.0)  # restart at t=5 -> fires at 15
+        sim.run()
+        assert fired == [pytest.approx(15.0)]
+
+    def test_cancel_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(10.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert not timer.armed
+
+    def test_armed_and_deadline(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        assert timer.deadline is None
+        timer.start(4.0)
+        assert timer.armed
+        assert timer.deadline == pytest.approx(4.0)
+        sim.run()
+        assert not timer.armed
+
+    def test_timer_can_be_restarted_after_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        timer.start(1.0)
+        sim.run()
+        assert fired == [pytest.approx(1.0), pytest.approx(2.0)]
+
+    def test_idle_threshold_semantics(self, sim):
+        """Repeated refreshes model the paper's idle-timer behaviour."""
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(40.0)
+        for t in (10.0, 20.0, 30.0, 55.0):
+            sim.at(t, timer.start, 40.0)
+        sim.run()
+        # Last refresh at t=55 -> idle at 95.
+        assert fired == [pytest.approx(95.0)]
+
+
+class TestPeriodicTask:
+    def test_ticks_at_interval(self, sim):
+        ticks = []
+        task = PeriodicTask(sim, 10.0, lambda: ticks.append(sim.now))
+        task.start()
+        sim.run(until=35.0)
+        assert ticks == [pytest.approx(10.0), pytest.approx(20.0), pytest.approx(30.0)]
+
+    def test_phase_controls_first_tick(self, sim):
+        ticks = []
+        task = PeriodicTask(sim, 10.0, lambda: ticks.append(sim.now))
+        task.start(phase=3.0)
+        sim.run(until=25.0)
+        assert ticks == [pytest.approx(3.0), pytest.approx(13.0), pytest.approx(23.0)]
+
+    def test_stop_halts_ticking(self, sim):
+        ticks = []
+        task = PeriodicTask(sim, 10.0, lambda: ticks.append(sim.now))
+        task.start()
+        sim.at(25.0, task.stop)
+        sim.run(until=100.0)
+        assert len(ticks) == 2
+
+    def test_callback_may_stop_the_task(self, sim):
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            if len(ticks) == 2:
+                task.stop()
+
+        task = PeriodicTask(sim, 5.0, tick)
+        task.start()
+        sim.run(until=100.0)
+        assert len(ticks) == 2
+
+    def test_invalid_interval_raises(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTask(sim, 0.0, lambda: None)
+
+    def test_running_property(self, sim):
+        task = PeriodicTask(sim, 5.0, lambda: None)
+        assert not task.running
+        task.start()
+        assert task.running
+        task.stop()
+        assert not task.running
+
+    def test_call_repeatedly_passes_args(self, sim):
+        seen = []
+        call_repeatedly(sim, 5.0, seen.append, "x")
+        sim.run(until=12.0)
+        assert seen == ["x", "x"]

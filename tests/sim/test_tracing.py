@@ -1,0 +1,72 @@
+"""Unit tests for the trace log."""
+
+from repro.sim import NullTraceLog, TraceLog
+
+
+class TestTraceLog:
+    def test_emit_retains_records(self, trace):
+        trace.emit(1.0, "alpha", node=1)
+        trace.emit(2.0, "beta", node=2)
+        assert len(trace.records) == 2
+        assert trace.records[0].kind == "alpha"
+        assert trace.records[0]["node"] == 1
+
+    def test_of_kind_filters(self, trace):
+        trace.emit(1.0, "a")
+        trace.emit(2.0, "b")
+        trace.emit(3.0, "a")
+        assert [record.time for record in trace.of_kind("a")] == [1.0, 3.0]
+
+    def test_first_and_count(self, trace):
+        assert trace.first("missing") is None
+        trace.emit(1.0, "x", value=10)
+        trace.emit(2.0, "x", value=20)
+        assert trace.first("x")["value"] == 10
+        assert trace.count("x") == 2
+
+    def test_record_get_with_default(self, trace):
+        trace.emit(1.0, "x", a=1)
+        record = trace.first("x")
+        assert record.get("a") == 1
+        assert record.get("zzz", "fallback") == "fallback"
+
+    def test_global_subscriber_sees_everything(self, trace):
+        seen = []
+        trace.subscribe(seen.append)
+        trace.emit(1.0, "a")
+        trace.emit(2.0, "b")
+        assert [record.kind for record in seen] == ["a", "b"]
+
+    def test_kind_subscriber_is_filtered(self, trace):
+        seen = []
+        trace.subscribe(seen.append, kind="a")
+        trace.emit(1.0, "a")
+        trace.emit(2.0, "b")
+        assert [record.kind for record in seen] == ["a"]
+
+    def test_streaming_mode_drops_records_but_notifies(self):
+        log = TraceLog(keep_records=False)
+        seen = []
+        log.subscribe(seen.append)
+        log.emit(1.0, "a")
+        assert log.records == []
+        assert len(seen) == 1
+
+    def test_clear_keeps_subscribers(self, trace):
+        seen = []
+        trace.subscribe(seen.append)
+        trace.emit(1.0, "a")
+        trace.clear()
+        trace.emit(2.0, "b")
+        assert trace.records[0].kind == "b"
+        assert len(seen) == 2
+
+
+class TestNullTraceLog:
+    def test_emit_is_a_noop(self):
+        log = NullTraceLog()
+        seen = []
+        log.subscribe(seen.append)
+        log.emit(1.0, "a")
+        assert log.records == []
+        assert seen == []

@@ -1,0 +1,77 @@
+"""Tests for traffic generators."""
+
+import random
+
+import pytest
+
+from repro.net.topology import single_region
+from repro.protocol.config import RrmpConfig
+from repro.protocol.rrmp import RrmpSimulation
+from repro.workloads.traffic import BurstStream, PoissonStream, UniformStream
+
+
+class TestUniformStream:
+    def test_send_times(self):
+        stream = UniformStream(count=3, interval=20.0, start=5.0)
+        assert stream.send_times() == [5.0, 25.0, 45.0]
+
+    def test_zero_count(self):
+        assert UniformStream(count=0, interval=10.0).send_times() == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UniformStream(count=-1, interval=10.0)
+        with pytest.raises(ValueError):
+            UniformStream(count=1, interval=0.0)
+
+    def test_schedule_drives_sender(self):
+        simulation = RrmpSimulation(
+            single_region(5), config=RrmpConfig(session_interval=None), seed=0,
+        )
+        count = UniformStream(count=4, interval=10.0).schedule(simulation)
+        simulation.run(duration=100.0)
+        assert count == 4
+        assert simulation.sender.max_seq == 4
+
+
+class TestPoissonStream:
+    def test_times_within_duration(self):
+        stream = PoissonStream(rate=0.1, duration=500.0, rng=random.Random(1))
+        times = stream.send_times()
+        assert times
+        assert all(0.0 <= t < 500.0 for t in times)
+        assert times == sorted(times)
+
+    def test_rate_controls_count(self):
+        low = PoissonStream(rate=0.01, duration=1_000.0, rng=random.Random(2))
+        high = PoissonStream(rate=0.1, duration=1_000.0, rng=random.Random(2))
+        assert len(high.send_times()) > len(low.send_times())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonStream(rate=0.0, duration=10.0, rng=random.Random(1))
+        with pytest.raises(ValueError):
+            PoissonStream(rate=1.0, duration=0.0, rng=random.Random(1))
+
+
+class TestBurstStream:
+    def test_burst_expansion(self):
+        stream = BurstStream([(10.0, 3), (50.0, 2)])
+        assert stream.send_times() == [10.0, 10.0, 10.0, 50.0, 50.0]
+
+    def test_bursts_sorted_regardless_of_input_order(self):
+        stream = BurstStream([(50.0, 1), (10.0, 1)])
+        assert stream.send_times() == [10.0, 50.0]
+
+    def test_burst_through_protocol_uses_sessions_for_tail(self):
+        """Back-to-back sends: the last message's loss is only
+        detectable via session messages (§2.1)."""
+        from repro.net.ipmulticast import FixedHolders
+        simulation = RrmpSimulation(
+            single_region(6), config=RrmpConfig(session_interval=25.0), seed=3,
+        )
+        simulation.sender.outcome = FixedHolders(set())  # everyone misses all
+        BurstStream([(0.0, 3)]).schedule(simulation)
+        simulation.run(duration=2_000.0)
+        for seq in (1, 2, 3):
+            assert simulation.all_received(seq)
