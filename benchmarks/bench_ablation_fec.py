@@ -1,0 +1,35 @@
+"""Ablation bench: FEC repair vs pull recovery vs the RMTP tree."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_fec import run_fec_ablation
+
+
+def test_ablation_fec(benchmark, show):
+    table = run_once(
+        benchmark, run_fec_ablation,
+        points=((4, 1), (8, 1), (8, 2)),
+        loss_rates=(0.1, 0.3),
+        seeds=5,
+    )
+    show(table)
+    off_latency = table.series["off: mean latency (ms)"]
+    fec_latency = table.series["proactive: mean latency (ms)"]
+    off_remote = table.series["off: remote requests"]
+    fec_remote = table.series["proactive: remote requests"]
+    decoded = table.series["proactive: gaps decoded"]
+    # Headline claim: at least one (k, r, loss) point where proactive
+    # FEC cuts both mean recovery latency and remote-request count.
+    wins = [
+        index for index in range(len(off_latency))
+        if fec_latency[index] < off_latency[index]
+        and fec_remote[index] < off_remote[index]
+    ]
+    assert wins
+    # Parity actually does the work: gaps are decoded, not just pulled.
+    assert all(count > 0 for count in decoded)
+    # More parity shards fill more gaps: (8, 2) decodes at least as
+    # many at p=0.3 as (8, 1) does (indices 3 and 5 of the sweep).
+    assert decoded[5] >= decoded[3]
+    # Overhead accounting is visible: r/k of the data bytes, in KB.
+    parity_kb = table.series["proactive: parity KB"]
+    assert parity_kb[0] > 0

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""FEC repair walkthrough: parity vs the pull epidemic on a lossy WAN.
+
+Two regions of 25 members, the sender upstream.  Every message has a
+30% chance of missing the *entire* child region (a regional loss — the
+worst case for RRMP, because recovery must cross the WAN throttled by
+the λ remote-request budget, §2.2).  We run the identical seeded
+workload three times:
+
+* ``fec_mode=off``        — pure pull recovery (the paper's protocol);
+* ``fec_mode=proactive``  — 2 parity messages per block of 8, multicast
+  as each block fills: receivers decode gaps locally;
+* ``fec_mode=reactive``   — parity only for blocks the sender observes
+  a retransmission request for.
+
+Run:  python examples/fec_repair.py
+"""
+
+from repro import RegionCorrelatedOutcome, RrmpConfig, RrmpSimulation, chain
+from repro.metrics import Summary, summarize_fec
+
+MESSAGES = 24
+INTERVAL = 5.0
+HORIZON = 4_000.0
+
+
+def run_mode(mode: str) -> None:
+    hierarchy = chain([25, 25])
+    config = RrmpConfig(
+        fec_mode=mode,
+        fec_block_size=8,
+        fec_parity=2,
+        remote_lambda=4.0,
+        session_interval=50.0,
+    )
+    simulation = RrmpSimulation(hierarchy, config=config, seed=7)
+    simulation.sender.outcome = RegionCorrelatedOutcome(
+        hierarchy, region_loss=0.3, sender=simulation.sender.node_id
+    )
+    for index in range(MESSAGES):
+        simulation.sim.at(index * INTERVAL, simulation.sender.multicast)
+    if mode != "off":
+        simulation.sim.at(
+            MESSAGES * INTERVAL + 1.0, simulation.sender.flush_parity
+        )
+    simulation.run(until=HORIZON)
+
+    latencies = simulation.recovery_latencies()
+    stats = simulation.network.stats
+    report = summarize_fec(simulation.trace)
+    delivered = all(simulation.all_received(seq) for seq in range(1, MESSAGES + 1))
+    print(f"== fec_mode={mode} ==")
+    print(f"  all delivered:        {delivered}")
+    print(f"  recoveries completed: {len(latencies)}")
+    print(f"  recovery latency:     {Summary.from_values(latencies)}")
+    print(f"  remote requests:      {stats.sent_by_type.get('RemoteRequest', 0)}")
+    print(f"  repairs sent:         {stats.sent_by_type.get('Repair', 0)}")
+    if mode != "off":
+        print(f"  blocks encoded:       {report.blocks_encoded} "
+              f"(triggers: {dict(report.triggers)})")
+        print(f"  gaps decoded:         {report.recovered}")
+        print(f"  parity overhead:      {report.parity_bytes} B "
+              f"({report.overhead_ratio:.0%} of data)")
+    print()
+
+
+def main() -> None:
+    print("== FEC repair vs pull recovery: 2x25 members, 30% regional loss ==\n")
+    for mode in ("off", "proactive", "reactive"):
+        run_mode(mode)
+    print("proactive FEC spends r/k extra bandwidth to cut recovery latency")
+    print("and WAN requests; reactive spends parity only on blocks whose")
+    print("loss a request revealed to the sender — with randomly-addressed")
+    print("remote requests that rarely happens before pull recovery wins.")
+
+
+if __name__ == "__main__":
+    main()

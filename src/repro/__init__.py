@@ -41,9 +41,14 @@ from repro.net import (
     single_region,
     star,
 )
+from repro.fec import FecBlockDecoder, FecEncoder, Gf256Codec, XorCodec, make_codec
 from repro.protocol import (
+    FEC_OFF,
+    FEC_PROACTIVE,
+    FEC_REACTIVE,
     PAPER_SECTION4_CONFIG,
     DataMessage,
+    ParityMessage,
     RrmpConfig,
     RrmpMember,
     RrmpSender,
@@ -59,14 +64,21 @@ __all__ = [
     "BufferPolicy",
     "ConstantLatency",
     "DataMessage",
+    "FEC_OFF",
+    "FEC_PROACTIVE",
+    "FEC_REACTIVE",
+    "FecBlockDecoder",
+    "FecEncoder",
     "FixedHolderCount",
     "FixedHolders",
     "FixedTimePolicy",
+    "Gf256Codec",
     "Hierarchy",
     "HierarchicalLatency",
     "NeverDiscardPolicy",
     "NoBufferPolicy",
     "PAPER_SECTION4_CONFIG",
+    "ParityMessage",
     "PerfectOutcome",
     "RandomStreams",
     "RegionCorrelatedOutcome",
@@ -77,8 +89,10 @@ __all__ = [
     "Simulator",
     "TraceLog",
     "TwoPhaseBufferPolicy",
+    "XorCodec",
     "balanced_tree",
     "chain",
+    "make_codec",
     "single_region",
     "star",
     "two_phase_policy_factory",

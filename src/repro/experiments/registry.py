@@ -12,6 +12,7 @@ from typing import Callable, Dict, List
 
 from repro.experiments.ablation_c import run_c_tradeoff
 from repro.experiments.ablation_churn import run_churn_handoff
+from repro.experiments.ablation_fec import run_fec_ablation
 from repro.experiments.ablation_hash import run_hash_vs_random
 from repro.experiments.ablation_idle import run_idle_threshold
 from repro.experiments.ablation_lambda import run_lambda_sweep
@@ -60,6 +61,8 @@ EXPERIMENTS: Dict[str, Experiment] = {
                    run_idle_threshold),
         Experiment("ablation_churn_handoff", "graceful handoff vs crash under churn",
                    run_churn_handoff),
+        Experiment("ablation_fec", "FEC repair (k, r, loss) vs pull recovery and tree",
+                   run_fec_ablation),
         Experiment("ablation_scaling", "per-member costs as the region grows",
                    run_scaling),
     ]

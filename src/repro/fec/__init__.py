@@ -1,0 +1,57 @@
+"""FEC-based repair subsystem (proactive/reactive erasure coding).
+
+The paper's RRMP recovers every loss with a pull epidemic: each miss
+costs at least one request/repair round trip, and a regional loss
+costs a WAN round trip throttled by λ.  NORM-style *FEC-based repair*
+is the standard complement: the sender appends ``r`` parity messages
+to every block of ``k`` data messages, and a receiver holding any
+``k`` of the ``k + r`` block shards reconstructs the rest locally —
+no request, no timer, no WAN crossing.
+
+The subsystem has three layers:
+
+* :mod:`repro.fec.codec` — byte-level erasure codes (XOR single
+  parity; systematic Vandermonde Reed-Solomon over GF(256));
+* :mod:`repro.fec.encoder` — the sender pipeline that groups messages
+  into blocks and emits :class:`~repro.protocol.messages.ParityMessage`
+  objects proactively or on demand;
+* :mod:`repro.fec.decoder` — the receiver-side block reassembly that
+  fills gaps before (or instead of) pull recovery.
+
+Wired into the protocol via ``RrmpConfig(fec_mode=..., fec_block_size=k,
+fec_parity=r)``; parity messages flow through the member's regular
+two-phase buffer policy, so long-term bufferers serve parity exactly
+like data.
+"""
+
+from repro.fec.codec import (
+    FecDecodeError,
+    FecError,
+    Gf256Codec,
+    XorCodec,
+    make_codec,
+)
+from repro.fec.decoder import FecBlockDecoder
+from repro.fec.encoder import (
+    FecEncoder,
+    decode_payload,
+    encode_payload,
+    message_shard,
+    pad_shard,
+    shard_payload,
+)
+
+__all__ = [
+    "FecBlockDecoder",
+    "FecDecodeError",
+    "FecEncoder",
+    "FecError",
+    "Gf256Codec",
+    "XorCodec",
+    "decode_payload",
+    "encode_payload",
+    "make_codec",
+    "message_shard",
+    "pad_shard",
+    "shard_payload",
+]

@@ -1,0 +1,297 @@
+"""Block erasure codecs: XOR single-parity and GF(256) Reed-Solomon.
+
+Both codecs are *systematic*: the ``k`` data shards are transmitted
+unchanged and ``r`` parity shards are appended, so receivers that lose
+nothing never touch the decoder.  A block of ``k + r`` equal-length
+shards survives the erasure of any ``r`` of them:
+
+* :class:`XorCodec` — the classic single-parity code (``r = 1``): the
+  parity shard is the XOR of the data shards, and any one missing
+  shard is the XOR of the survivors.
+* :class:`Gf256Codec` — a Vandermonde-derived Reed-Solomon-style code
+  over GF(256) for ``r > 1``.  The encode matrix is a ``(k + r) x k``
+  Vandermonde matrix normalised to systematic form (top ``k`` rows =
+  identity); any ``k`` of its rows are linearly independent, so any
+  ``k`` surviving shards reconstruct the data by inverting one small
+  matrix.
+
+The arithmetic is pure Python over the AES-unrelated field
+GF(2^8)/0x11d (the polynomial classical RS implementations use), with
+log/antilog tables so a multiply is two lookups and an add.  Shards
+are ``bytes``; blocks in this reproduction are tens of ~1 KB shards,
+well inside pure-Python territory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+#: The field polynomial x^8 + x^4 + x^3 + x^2 + 1.
+_GF_POLY = 0x11D
+
+_GF_EXP: List[int] = [0] * 512
+_GF_LOG: List[int] = [0] * 256
+
+
+def _build_tables() -> None:
+    x = 1
+    for power in range(255):
+        _GF_EXP[power] = x
+        _GF_LOG[x] = power
+        x <<= 1
+        if x & 0x100:
+            x ^= _GF_POLY
+    for power in range(255, 512):
+        _GF_EXP[power] = _GF_EXP[power - 255]
+
+
+_build_tables()
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return _GF_EXP[_GF_LOG[a] + _GF_LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse (raises on zero)."""
+    if a == 0:
+        raise ZeroDivisionError("0 has no inverse in GF(256)")
+    return _GF_EXP[255 - _GF_LOG[a]]
+
+
+def gf_pow(a: int, n: int) -> int:
+    """Raise a field element to a non-negative integer power."""
+    if n == 0:
+        return 1
+    if a == 0:
+        return 0
+    return _GF_EXP[(_GF_LOG[a] * n) % 255]
+
+
+class FecError(Exception):
+    """Base class for erasure-coding failures."""
+
+
+class FecDecodeError(FecError):
+    """Raised when too few shards survive to reconstruct a block."""
+
+
+Matrix = List[List[int]]
+
+
+def _identity(n: int) -> Matrix:
+    return [[1 if row == col else 0 for col in range(n)] for row in range(n)]
+
+
+def _matmul(a: Matrix, b: Matrix) -> Matrix:
+    cols = len(b[0])
+    inner = len(b)
+    out = [[0] * cols for _ in range(len(a))]
+    for i, row in enumerate(a):
+        out_row = out[i]
+        for j in range(cols):
+            acc = 0
+            for t in range(inner):
+                acc ^= gf_mul(row[t], b[t][j])
+            out_row[j] = acc
+    return out
+
+
+def _invert(matrix: Matrix) -> Matrix:
+    """Gauss-Jordan inversion over GF(256).
+
+    Raises :class:`FecError` on a singular matrix — which the
+    Vandermonde construction guarantees cannot happen for the row
+    subsets the codec selects.
+    """
+    n = len(matrix)
+    work = [row[:] for row in matrix]
+    out = _identity(n)
+    for col in range(n):
+        pivot_row = next(
+            (row for row in range(col, n) if work[row][col] != 0), None
+        )
+        if pivot_row is None:
+            raise FecError("singular matrix in GF(256) inversion")
+        if pivot_row != col:
+            work[col], work[pivot_row] = work[pivot_row], work[col]
+            out[col], out[pivot_row] = out[pivot_row], out[col]
+        inv_pivot = gf_inv(work[col][col])
+        work[col] = [gf_mul(value, inv_pivot) for value in work[col]]
+        out[col] = [gf_mul(value, inv_pivot) for value in out[col]]
+        for row in range(n):
+            if row == col or work[row][col] == 0:
+                continue
+            factor = work[row][col]
+            work[row] = [
+                value ^ gf_mul(factor, pivot_value)
+                for value, pivot_value in zip(work[row], work[col])
+            ]
+            out[row] = [
+                value ^ gf_mul(factor, pivot_value)
+                for value, pivot_value in zip(out[row], out[col])
+            ]
+    return out
+
+
+def _vandermonde(rows: int, cols: int) -> Matrix:
+    """V[i][j] = i^j over GF(256); any square row-subset is invertible."""
+    return [[gf_pow(i, j) for j in range(cols)] for i in range(rows)]
+
+
+def _combine(coefficients: Sequence[int], shards: Sequence[bytes], length: int) -> bytes:
+    """Linear combination of shards with the given row of coefficients."""
+    out = bytearray(length)
+    for coefficient, shard in zip(coefficients, shards):
+        if coefficient == 0:
+            continue
+        if coefficient == 1:
+            for index in range(length):
+                out[index] ^= shard[index]
+        else:
+            log_c = _GF_LOG[coefficient]
+            for index in range(length):
+                byte = shard[index]
+                if byte:
+                    out[index] ^= _GF_EXP[log_c + _GF_LOG[byte]]
+    return bytes(out)
+
+
+def _validate_data_shards(shards: Sequence[bytes], k: int) -> int:
+    if len(shards) != k:
+        raise FecError(f"expected {k} data shards, got {len(shards)}")
+    if not shards:
+        raise FecError("cannot encode an empty block")
+    length = len(shards[0])
+    for shard in shards:
+        if len(shard) != length:
+            raise FecError("data shards must all have the same length")
+    return length
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(
+        len(a), "big"
+    )
+
+
+class XorCodec:
+    """Single-parity XOR code: ``r = 1``, recovers any one erasure."""
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise FecError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.r = 1
+
+    def encode(self, data_shards: Sequence[bytes]) -> List[bytes]:
+        """One parity shard: the XOR of the *k* data shards."""
+        length = _validate_data_shards(data_shards, self.k)
+        parity = bytes(length)
+        for shard in data_shards:
+            parity = _xor_bytes(parity, shard)
+        return [parity]
+
+    def decode(self, shards: Sequence[Optional[bytes]]) -> List[bytes]:
+        """Reconstruct the *k* data shards from ``k + 1`` slots.
+
+        ``shards[i] is None`` marks an erasure.  At most one slot may
+        be missing; two erasures exceed this code and raise
+        :class:`FecDecodeError`.
+        """
+        if len(shards) != self.k + 1:
+            raise FecError(f"expected {self.k + 1} slots, got {len(shards)}")
+        missing = [index for index, shard in enumerate(shards) if shard is None]
+        if len(missing) > 1:
+            raise FecDecodeError(
+                f"{len(missing)} erasures exceed single-parity capacity"
+            )
+        data = list(shards[: self.k])
+        if not missing or missing[0] == self.k:
+            return data  # type: ignore[return-value] — data all present
+        present = [shard for shard in shards if shard is not None]
+        recovered = present[0]
+        for shard in present[1:]:
+            recovered = _xor_bytes(recovered, shard)
+        data[missing[0]] = recovered
+        return data  # type: ignore[return-value]
+
+
+class Gf256Codec:
+    """Systematic Vandermonde Reed-Solomon-style code over GF(256)."""
+
+    def __init__(self, k: int, r: int) -> None:
+        if k < 1:
+            raise FecError(f"k must be >= 1, got {k}")
+        if r < 1:
+            raise FecError(f"r must be >= 1, got {r}")
+        if k + r > 256:
+            raise FecError(f"k + r must be <= 256 for GF(256), got {k + r}")
+        self.k = k
+        self.r = r
+        vandermonde = _vandermonde(k + r, k)
+        top_inverse = _invert([row[:] for row in vandermonde[:k]])
+        #: (k + r) x k systematic encode matrix: rows 0..k-1 are the
+        #: identity, rows k..k+r-1 generate the parity shards.  Any k
+        #: rows are independent because they equal a k x k Vandermonde
+        #: submatrix times the fixed invertible ``top_inverse``.
+        self.matrix = _matmul(vandermonde, top_inverse)
+
+    def encode(self, data_shards: Sequence[bytes]) -> List[bytes]:
+        """The *r* parity shards for one block of *k* data shards."""
+        length = _validate_data_shards(data_shards, self.k)
+        return [
+            _combine(self.matrix[self.k + parity_index], data_shards, length)
+            for parity_index in range(self.r)
+        ]
+
+    def decode(self, shards: Sequence[Optional[bytes]]) -> List[bytes]:
+        """Reconstruct the *k* data shards from ``k + r`` slots.
+
+        ``shards[i] is None`` marks an erasure; any *k* surviving
+        shards suffice.  Fewer raises :class:`FecDecodeError`.
+        """
+        if len(shards) != self.k + self.r:
+            raise FecError(
+                f"expected {self.k + self.r} slots, got {len(shards)}"
+            )
+        if all(shards[index] is not None for index in range(self.k)):
+            return list(shards[: self.k])  # type: ignore[return-value]
+        present = [index for index, shard in enumerate(shards) if shard is not None]
+        if len(present) < self.k:
+            raise FecDecodeError(
+                f"only {len(present)} shards survive; need {self.k}"
+            )
+        use = present[: self.k]
+        subinverse = _invert([self.matrix[index][:] for index in use])
+        survivors = [shards[index] for index in use]
+        length = len(survivors[0])
+        for shard in survivors:
+            if len(shard) != length:  # pragma: no cover - defensive
+                raise FecError("surviving shards must all have the same length")
+        data: List[bytes] = []
+        for row in range(self.k):
+            original = shards[row]
+            if original is not None:
+                data.append(original)
+            else:
+                data.append(_combine(subinverse[row], survivors, length))
+        return data
+
+
+Codec = Union[XorCodec, Gf256Codec]
+
+
+def make_codec(k: int, r: int) -> Codec:
+    """The codec for a ``(k, r)`` block: XOR when ``r == 1``, else GF(256).
+
+    Encoder and decoder must call this with identical parameters (both
+    derive them from the parity messages on the wire), so the two sides
+    always agree on which code generated a block's parity.
+    """
+    if r == 1:
+        return XorCodec(k)
+    return Gf256Codec(k, r)

@@ -5,12 +5,14 @@ buffer-occupancy probes and plain-text table rendering used by the
 experiment harness.
 """
 
+from repro.metrics.fec import FecReport, summarize_fec
 from repro.metrics.occupancy import OccupancyProbe, occupancy_balance, occupancy_summary
 from repro.metrics.report import SeriesTable, format_cell, render_table
 from repro.metrics.stats import Summary, mean, percentile, stdev
 from repro.metrics.timeseries import StepSeries, TraceCounter
 
 __all__ = [
+    "FecReport",
     "OccupancyProbe",
     "SeriesTable",
     "StepSeries",
@@ -23,4 +25,5 @@ __all__ = [
     "percentile",
     "render_table",
     "stdev",
+    "summarize_fec",
 ]

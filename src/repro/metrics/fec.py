@@ -1,0 +1,69 @@
+"""Aggregation of the FEC subsystem's trace events.
+
+The FEC layers emit three trace kinds — ``fec_encode`` (sender sealed
+and encoded a block), ``fec_parity_overhead`` (the extra data-plane
+bytes that block's parity costs) and ``fec_decode_recovered`` (a
+receiver filled a gap by decoding instead of pulling).  This module
+folds them into one report so experiments and benchmarks can quote
+"parity overhead vs recovery traffic saved" as a single row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Counter as CounterType
+from collections import Counter
+
+from repro.sim.tracing import TraceLog
+
+
+@dataclass(frozen=True)
+class FecReport:
+    """Aggregate FEC activity of one simulation run."""
+
+    #: Blocks encoded (== ``fec_encode`` records).
+    blocks_encoded: int
+    #: Parity messages produced across all blocks.
+    parity_messages: int
+    #: Data-plane bytes spent on parity (the proactive overhead).
+    parity_bytes: int
+    #: Data-plane bytes of the covered data messages.
+    data_bytes: int
+    #: Gap fills achieved by decoding (== ``fec_decode_recovered``).
+    recovered: int
+    #: Parity receptions across all members.
+    parity_received: int
+    #: ``fec_encode`` trigger frequencies (proactive/reactive/flush).
+    triggers: CounterType[str]
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Parity bytes per data byte (0.0 when nothing was encoded)."""
+        if self.data_bytes == 0:
+            return 0.0
+        return self.parity_bytes / self.data_bytes
+
+
+def summarize_fec(trace: TraceLog) -> FecReport:
+    """Fold a trace log's FEC events into a :class:`FecReport`."""
+    triggers: CounterType[str] = Counter()
+    blocks = 0
+    for record in trace.of_kind("fec_encode"):
+        blocks += 1
+        triggers[record.get("trigger", "unknown")] += 1
+    parity_messages = 0
+    parity_bytes = 0
+    data_bytes = 0
+    for record in trace.of_kind("fec_parity_overhead"):
+        parity_messages += record.get("parity_messages", 0)
+        parity_bytes += record.get("parity_bytes", 0)
+        data_bytes += record.get("data_bytes", 0)
+    return FecReport(
+        blocks_encoded=blocks,
+        parity_messages=parity_messages,
+        parity_bytes=parity_bytes,
+        data_bytes=data_bytes,
+        recovered=trace.count("fec_decode_recovered"),
+        parity_received=trace.count("fec_parity_received"),
+        triggers=triggers,
+    )

@@ -18,11 +18,16 @@ _EXPORTS = {
     "CONTROL_WIRE_SIZE": "messages",
     "DATA_WIRE_SIZE": "messages",
     "DataMessage": "messages",
+    "FEC_MODES": "config",
+    "FEC_OFF": "config",
+    "FEC_PROACTIVE": "config",
+    "FEC_REACTIVE": "config",
     "GapTracker": "loss_detection",
     "HandoffMessage": "messages",
     "HaveReply": "messages",
     "LocalRequest": "messages",
     "PAPER_SECTION4_CONFIG": "config",
+    "ParityMessage": "messages",
     "PolicyFactory": "rrmp",
     "REPAIR_LOCAL": "messages",
     "REPAIR_REGIONAL": "messages",
@@ -42,6 +47,7 @@ _EXPORTS = {
     "SearchRequest": "messages",
     "Seq": "messages",
     "SessionMessage": "messages",
+    "VIA_FEC": "member",
     "VIA_HANDOFF": "member",
     "VIA_INJECTED": "member",
     "VIA_LOCAL_REPAIR": "member",
@@ -72,9 +78,17 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
-    from repro.protocol.config import PAPER_SECTION4_CONFIG, RrmpConfig
+    from repro.protocol.config import (
+        FEC_MODES,
+        FEC_OFF,
+        FEC_PROACTIVE,
+        FEC_REACTIVE,
+        PAPER_SECTION4_CONFIG,
+        RrmpConfig,
+    )
     from repro.protocol.loss_detection import GapTracker
     from repro.protocol.member import (
+        VIA_FEC,
         VIA_HANDOFF,
         VIA_INJECTED,
         VIA_LOCAL_REPAIR,
@@ -94,6 +108,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         HandoffMessage,
         HaveReply,
         LocalRequest,
+        ParityMessage,
         RemoteRequest,
         Repair,
         SearchRequest,

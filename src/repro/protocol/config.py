@@ -16,6 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
+#: FEC operating modes (see :mod:`repro.fec`).
+FEC_OFF = "off"                # no erasure coding (the paper's protocol)
+FEC_PROACTIVE = "proactive"    # parity multicast as each block fills
+FEC_REACTIVE = "reactive"      # parity multicast on first observed request
+FEC_MODES = (FEC_OFF, FEC_PROACTIVE, FEC_REACTIVE)
+
 
 @dataclass(frozen=True)
 class RrmpConfig:
@@ -73,6 +79,16 @@ class RrmpConfig:
     #: rounds.  ``None`` searches as long as requests keep failing.
     max_search_rounds: Optional[int] = None
 
+    #: FEC repair subsystem (see :mod:`repro.fec`).  ``fec_mode`` turns
+    #: erasure coding off (the paper's protocol), on proactively (the
+    #: sender multicasts ``fec_parity`` parity messages as each block
+    #: of ``fec_block_size`` data messages completes) or on reactively
+    #: (parity for a block is multicast the first time the sender
+    #: observes a retransmission request for one of its messages).
+    fec_mode: str = FEC_OFF
+    fec_block_size: int = 8
+    fec_parity: int = 1
+
     def __post_init__(self) -> None:
         if self.remote_lambda < 0:
             raise ValueError(f"remote_lambda must be >= 0, got {self.remote_lambda!r}")
@@ -92,6 +108,22 @@ class RrmpConfig:
             raise ValueError("max_recovery_time must be > 0 or None")
         if self.max_search_rounds is not None and self.max_search_rounds <= 0:
             raise ValueError("max_search_rounds must be > 0 or None")
+        if self.fec_mode not in FEC_MODES:
+            raise ValueError(
+                f"fec_mode must be one of {FEC_MODES}, got {self.fec_mode!r}"
+            )
+        if self.fec_block_size < 1:
+            raise ValueError(f"fec_block_size must be >= 1, got {self.fec_block_size!r}")
+        if self.fec_parity < 0:
+            raise ValueError(f"fec_parity must be >= 0, got {self.fec_parity!r}")
+        if self.fec_mode != FEC_OFF:
+            if self.fec_parity < 1:
+                raise ValueError("fec_parity must be >= 1 when fec_mode is on")
+            if self.fec_block_size + self.fec_parity > 256:
+                raise ValueError(
+                    "fec_block_size + fec_parity must be <= 256 (GF(256) limit), "
+                    f"got {self.fec_block_size + self.fec_parity}"
+                )
 
     def with_overrides(self, **changes: object) -> "RrmpConfig":
         """Return a copy with the given fields replaced."""

@@ -23,9 +23,10 @@ from repro.core.handoff import plan_handoff
 from repro.core.manager import TwoPhaseBufferPolicy
 from repro.core.policies import BufferPolicy
 from repro.core.search import SearchCoordinator
+from repro.fec.decoder import FecBlockDecoder
 from repro.net.topology import Hierarchy, NodeId
 from repro.net.transport import Network, Packet
-from repro.protocol.config import RrmpConfig
+from repro.protocol.config import FEC_OFF, RrmpConfig
 from repro.protocol.loss_detection import GapTracker
 from repro.protocol.messages import (
     REPAIR_LOCAL,
@@ -36,6 +37,7 @@ from repro.protocol.messages import (
     HandoffMessage,
     HaveReply,
     LocalRequest,
+    ParityMessage,
     RemoteRequest,
     Repair,
     SearchRequest,
@@ -53,6 +55,7 @@ VIA_REMOTE_REPAIR = "remote-repair"
 VIA_REGIONAL = "regional"
 VIA_HANDOFF = "handoff"
 VIA_INJECTED = "injected"
+VIA_FEC = "fec-decode"
 
 
 class RrmpMember:
@@ -89,6 +92,18 @@ class RrmpMember:
         )
         self.gap = GapTracker()
         self.recoveries: Dict[Seq, RecoveryProcess] = {}
+        #: FEC block decoder (None when the subsystem is off): fills
+        #: sequence gaps from parity before pull recovery has to run.
+        self.fec: Optional[FecBlockDecoder] = (
+            FecBlockDecoder() if config.fec_mode != FEC_OFF else None
+        )
+        #: Parity messages already processed (dedup, kept apart from
+        #: the gap tracker whose seq space is data-only).
+        self._parity_seen: Set[Seq] = set()
+        #: Reactive-FEC hook: the sender installs this on its own
+        #: member so observed retransmission requests can trigger
+        #: on-demand parity for the affected block.
+        self.repair_interest_hook: Optional[Callable[[Seq], None]] = None
         #: Downstream (child-region) members waiting for messages this
         #: member has not received yet (§2.2's relay rule).
         self.waiting_remote: Dict[Seq, Set[NodeId]] = {}
@@ -131,6 +146,10 @@ class RrmpMember:
         """Members of the parent region (empty for the root region)."""
         return self.hierarchy.parent_members(self.node_id)
 
+    def has_parent_region(self) -> bool:
+        """Whether this member's region has a parent (possibly empty)."""
+        return self.hierarchy.region_of(self.node_id).parent_id is not None
+
     def rtt_to(self, dst: NodeId) -> float:
         """Round-trip estimate used for retry timers."""
         return self.network.rtt(self.node_id, dst)
@@ -169,6 +188,8 @@ class RrmpMember:
         payload = packet.payload
         if isinstance(payload, DataMessage):
             self._handle_data(payload, VIA_MULTICAST)
+        elif isinstance(payload, ParityMessage):
+            self._on_parity(payload)
         elif isinstance(payload, Repair):
             self._on_repair(payload)
         elif isinstance(payload, LocalRequest):
@@ -194,6 +215,11 @@ class RrmpMember:
     # Data-path handling
     # ==================================================================
     def _on_repair(self, repair: Repair) -> None:
+        if isinstance(repair.data, ParityMessage):
+            # A buffered parity shard served back to a requester: it
+            # feeds the decoder, never the gap tracker.
+            self._on_parity(repair.data)
+            return
         if repair.scope == REPAIR_LOCAL:
             self._handle_data(repair.data, VIA_LOCAL_REPAIR)
         elif repair.scope in (REPAIR_REMOTE, REPAIR_RELAY):
@@ -226,12 +252,52 @@ class RrmpMember:
             recovery.complete(self.sim.now)
         self.policy.on_receive(data)
         self._serve_waiters(data)
+        if self.fec is not None:
+            # Eager decode: this arrival may give the block its k-th
+            # shard, filling this member's other gaps in the block
+            # before their recoveries spend another round.
+            self._absorb_fec_recoveries(self.fec.on_data(data))
         for missing in newly_missing:
             self._start_recovery(missing)
         if via == VIA_REMOTE_REPAIR:
             # §2.2: a repair received from a remote member is multicast
             # in the local region so neighbours sharing the loss get it.
             self._schedule_regional_multicast(data)
+
+    # ==================================================================
+    # FEC repair path
+    # ==================================================================
+    def _on_parity(self, parity: ParityMessage) -> None:
+        """Absorb one parity message (multicast, repair or handoff).
+
+        Parity flows through the regular buffer policy — its reserved
+        negative seq keys a normal entry, so the idle threshold,
+        long-term promotion and handoff all apply and a long-term
+        bufferer can serve parity exactly like data.
+        """
+        seq = parity.seq
+        if seq in self._parity_seen:
+            self.trace.emit(self.sim.now, "duplicate_received",
+                            node=self.node_id, seq=seq, via="parity")
+            return
+        self._parity_seen.add(seq)
+        self.trace.emit(self.sim.now, "fec_parity_received", node=self.node_id,
+                        seq=seq, block=parity.block_id, index=parity.index)
+        self.policy.on_receive(parity)
+        if self.fec is not None:
+            self._absorb_fec_recoveries(self.fec.on_parity(parity))
+
+    def _absorb_fec_recoveries(self, recovered: Sequence[DataMessage]) -> None:
+        """Treat decoder-reconstructed messages as regular arrivals.
+
+        Going through :meth:`_handle_data` completes (and thereby
+        cancels the timers of) any in-flight recovery for the decoded
+        seq, buffers the reconstruction, and serves recorded waiters.
+        """
+        for data in recovered:
+            self.trace.emit(self.sim.now, "fec_decode_recovered",
+                            node=self.node_id, seq=data.seq)
+            self._handle_data(data, VIA_FEC)
 
     def _serve_waiters(self, data: DataMessage) -> None:
         """Serve downstream waiters and resolve any active search."""
@@ -273,6 +339,8 @@ class RrmpMember:
     # Request handling
     # ==================================================================
     def _on_local_request(self, request: LocalRequest) -> None:
+        if self.repair_interest_hook is not None:
+            self.repair_interest_hook(request.seq)
         # Feedback first (§3.1): every request, answerable or not,
         # refreshes the idle state of a buffered copy.
         self.policy.on_request(request.seq)
@@ -290,6 +358,8 @@ class RrmpMember:
 
     def _on_remote_request(self, request: RemoteRequest) -> None:
         seq, requester = request.seq, request.requester
+        if self.repair_interest_hook is not None:
+            self.repair_interest_hook(seq)
         self.trace.emit(self.sim.now, "remote_request_received",
                         node=self.node_id, seq=seq, requester=requester)
         if self.config.refresh_on_remote_request:
@@ -410,6 +480,15 @@ class RrmpMember:
     def _on_handoff(self, message: HandoffMessage) -> None:
         self.trace.emit(self.sim.now, "handoff_received", node=self.node_id,
                         seq=message.seq, from_member=message.from_member)
+        if isinstance(message.data, ParityMessage):
+            # Long-term parity transfers like data: absorb it (decoder
+            # + short-term buffer), then promote to long-term since the
+            # leaver's responsibility moves to us.
+            self._on_parity(message.data)
+            accept = getattr(self.policy, "accept_handoff", None)
+            if accept is not None:
+                accept(message.data)
+            return
         if not self.gap.is_received(message.seq):
             # The handoff doubles as first receipt of the message.
             self._handle_data(message.data, VIA_HANDOFF)
@@ -425,6 +504,13 @@ class RrmpMember:
     def _start_recovery(self, seq: Seq) -> None:
         if seq in self.recoveries or self.gap.is_received(seq):
             return
+        if self.fec is not None:
+            # Consult the decoder first: if enough of the block's
+            # shards are already here, fill the gap locally and skip
+            # the pull recovery entirely.
+            self._absorb_fec_recoveries(self.fec.recover(seq))
+            if self.gap.is_received(seq):
+                return
         self.trace.emit(self.sim.now, "loss_detected", node=self.node_id, seq=seq)
         process = RecoveryProcess(self, seq, detected_at=self.sim.now)
         self.recoveries[seq] = process
@@ -440,6 +526,14 @@ class RrmpMember:
         outcome, and by the sender for its own messages.
         """
         self._handle_data(data, via)
+
+    def inject_parity(self, parity: ParityMessage) -> None:
+        """Deliver *parity* to this member directly (no network hop).
+
+        Used by the sender for its own parity messages, mirroring
+        :meth:`inject_receive` for data.
+        """
+        self._on_parity(parity)
 
     def inject_loss_detection(self, seq: Seq) -> None:
         """Make the member detect that *seq* (and everything below) is missing.

@@ -88,6 +88,45 @@ class Repair:
         return self.data.seq
 
 
+#: Parity identifiers live in a reserved negative sequence space so
+#: they can share the buffer policies' ``Seq`` keying without ever
+#: colliding with data messages (data seqs start at 1).  The stride
+#: bounds ``r`` at 256 parity shards per block, matching GF(256).
+_PARITY_SEQ_STRIDE = 256
+
+
+def parity_seq(block_id: int, index: int) -> Seq:
+    """The reserved (negative) sequence number of one parity message."""
+    return -(block_id * _PARITY_SEQ_STRIDE + index + 1)
+
+
+@dataclass(frozen=True)
+class ParityMessage:
+    """One erasure-coded parity shard for a block of data messages.
+
+    ``block_seqs`` names the ``k`` data messages the block covers (so
+    receivers can associate cached shards without any out-of-band block
+    map), ``index`` is this shard's position among the block's ``r``
+    parity shards, and ``shard`` is the coded bytes (padded to the
+    block's longest data shard).  Parity is data-plane traffic: it is
+    subject to multicast loss and sized like a data packet.
+    """
+
+    block_id: int
+    index: int
+    r: int
+    block_seqs: Tuple[Seq, ...]
+    shard: bytes
+    sender: NodeId
+    kind: str = field(default=KIND_DATA, repr=False)
+    wire_size: int = field(default=DATA_WIRE_SIZE, repr=False)
+
+    @property
+    def seq(self) -> Seq:
+        """Reserved negative identifier (see :func:`parity_seq`)."""
+        return parity_seq(self.block_id, self.index)
+
+
 @dataclass(frozen=True)
 class SessionMessage:
     """Periodic sender heartbeat advertising the highest sequence number.

@@ -47,6 +47,15 @@ class RecoveryHost(Protocol):
         """Members of the parent region (empty if the host has none)."""
         ...
 
+    def has_parent_region(self) -> bool:
+        """Whether a parent region structurally exists (even if empty).
+
+        Root regions never gain a parent, so their remote phase can
+        stay silent; a *currently empty* parent region may refill
+        under churn and is worth re-probing.
+        """
+        ...
+
     def region_size(self) -> int:
         """Current size of the host's region (the *n* in λ/n)."""
         ...
@@ -80,6 +89,10 @@ class RecoveryProcess:
         self.remote_requests_sent = 0
         self.completed = False
         self.failed = False
+        #: Abandoned without the message arriving (member shutdown).
+        #: Distinct from ``completed`` so metrics never count a
+        #: shutdown-cancelled recovery as a successful completion.
+        self.cancelled = False
         self._rng = host.recovery_rng()
         self._local_timer = Timer(host.sim, self._local_round)
         self._remote_timer = Timer(host.sim, self._remote_round)
@@ -92,9 +105,14 @@ class RecoveryProcess:
         self._local_round()
         self._remote_round()
 
+    @property
+    def active(self) -> bool:
+        """Whether this recovery is still running."""
+        return not (self.completed or self.failed or self.cancelled)
+
     def complete(self, now: float) -> None:
         """The message arrived: stop all timers and record latency."""
-        if self.completed or self.failed:
+        if not self.active:
             return
         self.completed = True
         self._stop_timers()
@@ -112,7 +130,7 @@ class RecoveryProcess:
     def cancel(self) -> None:
         """Abandon silently (member shutdown)."""
         self._stop_timers()
-        self.completed = True
+        self.cancelled = True
 
     def _fail(self) -> None:
         self.failed = True
@@ -133,18 +151,32 @@ class RecoveryProcess:
         limit = self.host.config.max_recovery_time
         return limit is not None and (self.host.sim.now - self.detected_at) >= limit
 
+    def _idle_retry_delay(self) -> float:
+        """Back-off before re-checking a phase that has no peers *now*.
+
+        Churn can hand a lonely member neighbours (or refill an emptied
+        parent region) at any time; a silent phase would never notice.
+        The idle threshold is the natural probe period — it is the
+        time scale at which buffered state changes hands.
+        """
+        return self.host.config.idle_threshold * self.host.config.timer_factor
+
     # ------------------------------------------------------------------
     # Local phase
     # ------------------------------------------------------------------
     def _local_round(self) -> None:
-        if self.completed or self.failed:
+        if not self.active:
             return
         if self._deadline_exceeded():
             self._fail()
             return
         neighbors = list(self.host.neighbor_ids())
         if not neighbors:
-            # Alone in the region: only remote recovery can help.
+            # Alone in the region right now: nobody to ask, but churn
+            # may add neighbours, so keep the phase alive instead of
+            # going silent forever (no request is sent, no round is
+            # counted — this is a probe, not a recovery round).
+            self._local_timer.start(self._idle_retry_delay())
             return
         self.local_rounds += 1
         target = self._rng.choice(neighbors)
@@ -159,7 +191,7 @@ class RecoveryProcess:
     # Remote phase
     # ------------------------------------------------------------------
     def _remote_round(self) -> None:
-        if self.completed or self.failed:
+        if not self.active:
             return
         if self._deadline_exceeded():
             self._fail()
@@ -167,7 +199,13 @@ class RecoveryProcess:
         parents = list(self.host.parent_member_ids())
         if not parents:
             # §2.2: "If a receiver has no parent region, its remote
-            # recovery phase does nothing."
+            # recovery phase does nothing."  That is structural for a
+            # root region (regions never gain a parent), so stay
+            # silent there; a parent region that exists but is
+            # *currently empty* may refill under churn, so re-arm a
+            # probe timer rather than abandoning the phase.
+            if self.host.has_parent_region():
+                self._remote_timer.start(self._idle_retry_delay())
             return
         self.remote_rounds += 1
         # Choose r first; the timer tracks r whether or not the

@@ -10,17 +10,30 @@ and adds:
   a :class:`~repro.net.ipmulticast.MulticastOutcome` model (the
   documented substitution for real IP multicast);
 * periodic session messages advertising the highest sequence number, so
-  receivers can detect the loss of the last message in a burst (§2.1).
+  receivers can detect the loss of the last message in a burst (§2.1);
+* the sender half of the FEC repair subsystem (:mod:`repro.fec`): data
+  messages are grouped into blocks of ``fec_block_size`` and each
+  block's ``fec_parity`` parity messages are multicast either as the
+  block fills (proactive) or on the first retransmission request the
+  sender observes for the block (reactive).
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
+from repro.fec.encoder import FecEncoder
 from repro.net.ipmulticast import MulticastOutcome, PerfectOutcome
 from repro.net.topology import NodeId
+from repro.protocol.config import FEC_OFF, FEC_PROACTIVE, FEC_REACTIVE
 from repro.protocol.member import RrmpMember
-from repro.protocol.messages import DataMessage, Seq, SessionMessage
+from repro.protocol.messages import (
+    DATA_WIRE_SIZE,
+    DataMessage,
+    ParityMessage,
+    Seq,
+    SessionMessage,
+)
 from repro.sim import PeriodicTask
 
 
@@ -36,11 +49,26 @@ class RrmpSender:
         self.outcome = outcome if outcome is not None else PerfectOutcome()
         self.next_seq: Seq = 1
         self._rng = member.streams.stream("sender", member.node_id, "outcome")
+        #: Separate substream for parity outcomes so enabling FEC does
+        #: not perturb the data-loss pattern of an equally-seeded run —
+        #: fec_mode sweeps stay sample-path comparable.
+        self._parity_rng = member.streams.stream(
+            "sender", member.node_id, "parity-outcome"
+        )
         self._session_task: Optional[PeriodicTask] = None
         interval = member.config.session_interval
         if interval is not None:
             self._session_task = PeriodicTask(member.sim, interval, self._send_session)
             self._session_task.start()
+        self.fec: Optional[FecEncoder] = None
+        if member.config.fec_mode != FEC_OFF:
+            self.fec = FecEncoder(
+                block_size=member.config.fec_block_size,
+                parity=member.config.fec_parity,
+                sender=member.node_id,
+            )
+            if member.config.fec_mode == FEC_REACTIVE:
+                member.repair_interest_hook = self._on_repair_interest
 
     @property
     def node_id(self) -> NodeId:
@@ -83,11 +111,82 @@ class RrmpSender:
         self.member.inject_receive(data, via="multicast")
         targets = [node for node in group if node in holders and node != self.node_id]
         self.member.network.multicast(self.node_id, targets, data, group="session")
+        if self.fec is not None:
+            completed_block = self.fec.add(data)
+            if (
+                completed_block is not None
+                and self.member.config.fec_mode == FEC_PROACTIVE
+            ):
+                self._emit_parity(completed_block, trigger="proactive")
         return data
 
     def multicast_burst(self, count: int, payload: Any = None) -> Sequence[DataMessage]:
         """Multicast *count* messages back-to-back at the current instant."""
         return [self.multicast(payload) for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # FEC parity emission
+    # ------------------------------------------------------------------
+    def flush_parity(self) -> List[ParityMessage]:
+        """Seal the current partial block and emit *its* parity.
+
+        Call at the end of a burst or session so a tail block shorter
+        than ``fec_block_size`` is still protected.  Only the tail
+        block is touched: in reactive mode, earlier sealed blocks keep
+        waiting for an observed request (bulk-encoding them here would
+        silently turn reactive into proactive-at-the-end).  No-op
+        (empty list) when FEC is off or no partial block is pending.
+        """
+        if self.fec is None:
+            return []
+        block_id = self.fec.flush()
+        if block_id is None:
+            return []
+        return self._emit_parity(block_id, trigger="flush")
+
+    def _on_repair_interest(self, seq: Seq) -> None:
+        """Reactive mode: a request the sender observed names *seq*."""
+        if self.fec is None:
+            return
+        block_id = self.fec.block_containing(seq)
+        if block_id is None or self.fec.is_encoded(block_id):
+            return
+        self._emit_parity(block_id, trigger="reactive")
+
+    def _emit_parity(self, block_id: int, trigger: str) -> List[ParityMessage]:
+        """Encode one block and multicast its parity through the outcome model."""
+        assert self.fec is not None
+        parities = self.fec.encode_block(block_id)
+        if not parities:
+            return []
+        first = parities[0]
+        self.member.trace.emit(
+            self.member.sim.now,
+            "fec_encode",
+            block=block_id,
+            k=len(first.block_seqs),
+            r=first.r,
+            trigger=trigger,
+        )
+        self.member.trace.emit(
+            self.member.sim.now,
+            "fec_parity_overhead",
+            block=block_id,
+            parity_messages=len(parities),
+            parity_bytes=sum(parity.wire_size for parity in parities),
+            data_bytes=len(first.block_seqs) * DATA_WIRE_SIZE,
+        )
+        group = list(self.group())
+        for parity in parities:
+            self.member.inject_parity(parity)
+            holders = set(self.outcome.holders(parity.seq, group, self._parity_rng))
+            targets = [
+                node for node in group if node in holders and node != self.node_id
+            ]
+            self.member.network.multicast(
+                self.node_id, targets, parity, group="session"
+            )
+        return parities
 
     # ------------------------------------------------------------------
     # Session messages

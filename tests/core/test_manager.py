@@ -151,6 +151,89 @@ class TestHandoff:
         assert policy.buffer.records[0].reason == "handoff"
 
 
+class TestLongTermHandoffPath:
+    """Satellite coverage for drain_for_handoff / accept_handoff:
+    promotion of buffered entries, TTL re-arming, trace shapes."""
+
+    def test_accept_handoff_arms_ttl(self, sim, buffer_host):
+        """A handed-off entry is not immortal: the long-term TTL is
+        armed from the moment of acceptance."""
+        policy = make_policy(buffer_host, c=0.0, ttl=200.0)
+        sim.run(until=50.0)
+        policy.accept_handoff(msg(5))
+        sim.run()
+        assert not policy.has(5)
+        [record] = policy.buffer.records
+        assert record.reason == "long-term-ttl"
+        assert record.was_long_term
+        assert record.discard_time == pytest.approx(250.0)  # 50 + TTL
+
+    def test_promoting_handoff_rearms_ttl_from_acceptance(self, sim, buffer_host):
+        """Promotion of an already-buffered short-term entry restarts
+        the use clock: the TTL counts from the handoff, not from the
+        original receipt."""
+        policy = make_policy(buffer_host, c=0.0, ttl=200.0)
+        policy.on_receive(msg(5))          # received at t=0, idle at 40
+        sim.run(until=30.0)
+        policy.accept_handoff(msg(5))      # promoted at t=30
+        sim.run()
+        [record] = policy.buffer.records
+        assert record.reason == "long-term-ttl"
+        assert record.receive_time == 0.0  # the original entry survived
+        assert record.discard_time == pytest.approx(230.0)  # 30 + TTL
+
+    def test_requests_rearm_ttl_of_handed_off_entry(self, sim, buffer_host):
+        policy = make_policy(buffer_host, c=0.0, ttl=200.0)
+        policy.accept_handoff(msg(5))
+        sim.at(150.0, policy.on_request, 5)
+        sim.run()
+        [record] = policy.buffer.records
+        assert record.discard_time == pytest.approx(350.0)  # 150 + TTL
+
+    def test_drain_disarms_ttl_and_empties_long_term(self, sim, buffer_host):
+        policy = make_policy(buffer_host, c=0.0, ttl=200.0)
+        policy.accept_handoff(msg(5))
+        policy.accept_handoff(msg(6))
+        drained = policy.drain_for_handoff()
+        assert sorted(d.seq for d in drained) == [5, 6]
+        assert policy.occupancy == 0
+        sim.run()  # no TTL timer may fire after the drain
+        reasons = {record.reason for record in policy.buffer.records}
+        assert reasons == {"handoff"}
+
+    def test_drain_trace_event_shape(self, sim, buffer_host, trace):
+        buffer_host.set_region_size(1)
+        policy = make_policy(buffer_host, c=1.0)
+        policy.on_receive(msg(1))
+        sim.run()  # idle at 40, promoted (C/n = 1)
+        sim.run(until=100.0)
+        policy.drain_for_handoff()
+        [discard] = list(trace.of_kind("buffer_discard"))
+        assert discard["node"] == buffer_host.node_id
+        assert discard["seq"] == 1
+        assert discard["reason"] == "handoff"
+        assert discard["was_long_term"] is True
+        assert discard["duration"] == pytest.approx(100.0)
+
+    def test_accept_handoff_trace_event_shape(self, sim, buffer_host, trace):
+        policy = make_policy(buffer_host, c=0.0)
+        policy.accept_handoff(msg(5))
+        added = trace.first("buffer_add")
+        assert added is not None and added["seq"] == 5
+        selected = trace.first("long_term_selected")
+        assert selected["node"] == buffer_host.node_id
+        assert selected["seq"] == 5
+        assert selected["via"] == "handoff"
+
+    def test_promotion_emits_handoff_trace_without_new_add(self, sim, buffer_host, trace):
+        policy = make_policy(buffer_host, c=0.0)
+        policy.on_receive(msg(5))
+        policy.accept_handoff(msg(5))
+        assert trace.count("buffer_add") == 1  # promotion, not re-add
+        selected = trace.first("long_term_selected")
+        assert selected["via"] == "handoff"
+
+
 class TestLifecycle:
     def test_bind_required(self):
         policy = TwoPhaseBufferPolicy()

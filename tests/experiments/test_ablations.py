@@ -120,3 +120,35 @@ class TestChurnHandoff:
         transfers = table.series["handoff transfers"]
         assert transfers[0] > 0.0
         assert transfers[1] == 0.0
+
+
+class TestFecAblation:
+    def test_registered_and_dispatches_with_params(self):
+        """The experiment runs through the registry (the CLI path)."""
+        from repro.experiments.registry import run_experiment
+
+        table = run_experiment(
+            "ablation_fec",
+            points=((4, 1),), loss_rates=(0.3,),
+            region_size=15, messages=8, seeds=2, horizon=2_000.0,
+        )
+        assert table.xs == ["k=4,r=1,p=0.3"]
+        for name in (
+            "off: mean latency (ms)",
+            "proactive: mean latency (ms)",
+            "proactive: gaps decoded",
+            "reactive: mean latency (ms)",
+            "tree: mean latency (ms)",
+        ):
+            assert name in table.series
+
+    def test_proactive_decodes_gaps_and_pays_parity(self):
+        from repro.experiments.ablation_fec import run_fec_ablation
+
+        table = run_fec_ablation(
+            points=((4, 2),), loss_rates=(0.3,),
+            region_size=15, messages=8, seeds=3, horizon=2_000.0,
+        )
+        assert table.series["proactive: gaps decoded"][0] > 0.0
+        assert table.series["proactive: parity KB"][0] > 0.0
+        assert table.series["off: remote requests"][0] > 0.0

@@ -1,0 +1,159 @@
+"""Property and unit tests for the erasure codecs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fec.codec import (
+    FecDecodeError,
+    FecError,
+    Gf256Codec,
+    XorCodec,
+    gf_inv,
+    gf_mul,
+    gf_pow,
+    make_codec,
+)
+
+
+# ----------------------------------------------------------------------
+# Field arithmetic
+# ----------------------------------------------------------------------
+class TestGf256:
+    def test_multiplication_identity_and_zero(self):
+        for a in range(256):
+            assert gf_mul(a, 1) == a
+            assert gf_mul(a, 0) == 0
+
+    def test_every_nonzero_element_has_inverse(self):
+        for a in range(1, 256):
+            assert gf_mul(a, gf_inv(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_inv(0)
+
+    @given(a=st.integers(1, 255), b=st.integers(1, 255), c=st.integers(1, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_is_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    def test_pow_matches_repeated_multiplication(self):
+        for base in (0, 1, 2, 7, 255):
+            acc = 1
+            for exponent in range(6):
+                assert gf_pow(base, exponent) == acc
+                acc = gf_mul(acc, base)
+
+
+# ----------------------------------------------------------------------
+# Round-trip property: encode -> erase <= r shards -> decode
+# ----------------------------------------------------------------------
+@st.composite
+def xor_blocks(draw):
+    k = draw(st.integers(1, 10))
+    length = draw(st.integers(0, 32))
+    shards = [draw(st.binary(min_size=length, max_size=length)) for _ in range(k)]
+    erased = draw(st.sets(st.integers(0, k), max_size=1))
+    return k, shards, sorted(erased)
+
+
+@st.composite
+def gf_blocks(draw):
+    k = draw(st.integers(1, 10))
+    r = draw(st.integers(2, 5))
+    length = draw(st.integers(0, 32))
+    shards = [draw(st.binary(min_size=length, max_size=length)) for _ in range(k)]
+    erase_count = draw(st.integers(0, r))
+    erased = draw(
+        st.sets(st.integers(0, k + r - 1), min_size=erase_count, max_size=erase_count)
+    )
+    return k, r, shards, sorted(erased)
+
+
+class TestXorRoundTrip:
+    @given(block=xor_blocks())
+    @settings(max_examples=120, deadline=None)
+    def test_single_erasure_round_trips(self, block):
+        k, shards, erased = block
+        codec = XorCodec(k)
+        parity = codec.encode(shards)
+        assert len(parity) == 1
+        slots = list(shards) + parity
+        lossy = [None if i in erased else s for i, s in enumerate(slots)]
+        assert codec.decode(lossy) == shards
+
+    def test_two_erasures_raise(self):
+        codec = XorCodec(3)
+        shards = [b"aa", b"bb", b"cc"]
+        parity = codec.encode(shards)
+        lossy = [None, None, shards[2], parity[0]]
+        with pytest.raises(FecDecodeError):
+            codec.decode(lossy)
+
+
+class TestGf256RoundTrip:
+    @given(block=gf_blocks())
+    @settings(max_examples=120, deadline=None)
+    def test_up_to_r_erasures_round_trip(self, block):
+        k, r, shards, erased = block
+        codec = Gf256Codec(k, r)
+        parity = codec.encode(shards)
+        assert len(parity) == r and all(len(p) == len(shards[0]) for p in parity)
+        slots = list(shards) + parity
+        lossy = [None if i in erased else s for i, s in enumerate(slots)]
+        assert codec.decode(lossy) == shards
+
+    def test_more_than_r_erasures_raise(self):
+        codec = Gf256Codec(4, 2)
+        shards = [bytes([i] * 8) for i in range(4)]
+        parity = codec.encode(shards)
+        lossy = [None, None, None, shards[3], parity[0], None]
+        with pytest.raises(FecDecodeError):
+            codec.decode(lossy)
+
+    def test_systematic_top_rows_are_identity(self):
+        codec = Gf256Codec(5, 3)
+        for row in range(5):
+            assert codec.matrix[row] == [
+                1 if col == row else 0 for col in range(5)
+            ]
+
+    def test_worst_case_all_parity_used(self):
+        """Erase the first r data shards; decode from the tail + parity."""
+        codec = Gf256Codec(6, 3)
+        shards = [bytes([17 * i + j for j in range(16)]) for i in range(6)]
+        parity = codec.encode(shards)
+        lossy = [None, None, None] + shards[3:] + parity
+        assert codec.decode(lossy) == shards
+
+
+# ----------------------------------------------------------------------
+# Construction and validation
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_make_codec_selects_xor_for_single_parity(self):
+        assert isinstance(make_codec(8, 1), XorCodec)
+        assert isinstance(make_codec(8, 2), Gf256Codec)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(FecError):
+            XorCodec(0)
+        with pytest.raises(FecError):
+            Gf256Codec(0, 2)
+        with pytest.raises(FecError):
+            Gf256Codec(4, 0)
+        with pytest.raises(FecError):
+            Gf256Codec(200, 57)  # k + r > 256
+
+    def test_unequal_shard_lengths_rejected(self):
+        with pytest.raises(FecError):
+            XorCodec(2).encode([b"a", b"bb"])
+        with pytest.raises(FecError):
+            Gf256Codec(2, 2).encode([b"a", b"bb"])
+
+    def test_wrong_slot_count_rejected(self):
+        with pytest.raises(FecError):
+            XorCodec(2).decode([b"a", b"b"])
+        with pytest.raises(FecError):
+            Gf256Codec(2, 2).decode([b"a", b"b", b"c"])

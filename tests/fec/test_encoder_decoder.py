@@ -1,0 +1,218 @@
+"""Unit tests for the sender encoder pipeline and receiver block decoder."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fec.decoder import FecBlockDecoder
+from repro.fec.encoder import (
+    FecEncoder,
+    decode_payload,
+    encode_payload,
+    message_shard,
+    pad_shard,
+    shard_payload,
+)
+from repro.protocol.messages import DataMessage, ParityMessage, parity_seq
+
+
+def msg(seq, payload=None):
+    return DataMessage(seq=seq, sender=0, payload=payload)
+
+
+# ----------------------------------------------------------------------
+# Payload serialization
+# ----------------------------------------------------------------------
+class TestPayloadSerialization:
+    @given(
+        payload=st.one_of(
+            st.none(),
+            st.binary(max_size=64),
+            st.text(max_size=32),
+            st.integers(-(10**12), 10**12),
+            st.floats(allow_nan=False, allow_infinity=False),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip(self, payload):
+        assert decode_payload(encode_payload(payload)) == payload
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_payload(["not", "serializable"])
+        with pytest.raises(TypeError):
+            encode_payload(True)
+
+    def test_shard_round_trip_survives_padding(self):
+        data = msg(4, payload=b"hello")
+        shard = pad_shard(message_shard(data), 64)
+        assert shard_payload(shard) == b"hello"
+
+
+# ----------------------------------------------------------------------
+# Encoder
+# ----------------------------------------------------------------------
+class TestFecEncoder:
+    def test_block_completes_after_k_messages(self):
+        encoder = FecEncoder(block_size=3, parity=1, sender=0)
+        assert encoder.add(msg(1)) is None
+        assert encoder.add(msg(2)) is None
+        assert encoder.add(msg(3)) == 0
+        assert encoder.add(msg(4)) is None  # next block begins
+
+    def test_encode_block_emits_parity_messages(self):
+        encoder = FecEncoder(block_size=3, parity=2, sender=7)
+        for seq in (1, 2, 3):
+            encoder.add(msg(seq, payload=f"m{seq}"))
+        parities = encoder.encode_block(0)
+        assert len(parities) == 2
+        for index, parity in enumerate(parities):
+            assert isinstance(parity, ParityMessage)
+            assert parity.block_id == 0
+            assert parity.index == index
+            assert parity.r == 2
+            assert parity.block_seqs == (1, 2, 3)
+            assert parity.sender == 7
+            assert parity.seq == parity_seq(0, index)
+            assert parity.seq < 0
+
+    def test_encode_block_is_one_shot(self):
+        encoder = FecEncoder(block_size=2, parity=1, sender=0)
+        encoder.add(msg(1))
+        encoder.add(msg(2))
+        assert len(encoder.encode_block(0)) == 1
+        assert encoder.encode_block(0) == []
+        assert encoder.is_encoded(0)
+
+    def test_flush_seals_partial_block(self):
+        encoder = FecEncoder(block_size=8, parity=2, sender=0)
+        encoder.add(msg(1))
+        encoder.add(msg(2))
+        block_id = encoder.flush()
+        assert block_id == 0
+        parities = encoder.encode_block(block_id)
+        assert parities[0].block_seqs == (1, 2)
+        assert encoder.flush() is None  # nothing pending
+
+    def test_block_containing_only_names_sealed_blocks(self):
+        encoder = FecEncoder(block_size=2, parity=1, sender=0)
+        encoder.add(msg(1))
+        assert encoder.block_containing(1) is None  # still pending
+        encoder.add(msg(2))
+        assert encoder.block_containing(1) == 0
+        assert encoder.block_containing(2) == 0
+        assert encoder.block_containing(99) is None
+        encoder.encode_block(0)
+        assert encoder.block_containing(1) == 0  # encoded blocks stay known
+
+
+# ----------------------------------------------------------------------
+# Decoder
+# ----------------------------------------------------------------------
+def build_block(k=3, r=2, payloads=None):
+    """One encoded block: (data messages, parity messages)."""
+    encoder = FecEncoder(block_size=k, parity=r, sender=0)
+    messages = [
+        msg(seq + 1, payload=(payloads[seq] if payloads else f"payload-{seq}"))
+        for seq in range(k)
+    ]
+    for message in messages:
+        encoder.add(message)
+    return messages, encoder.encode_block(0)
+
+
+class TestFecBlockDecoder:
+    def test_no_recovery_without_parity(self):
+        messages, _parities = build_block()
+        decoder = FecBlockDecoder()
+        assert decoder.on_data(messages[0]) == []
+        assert decoder.on_data(messages[1]) == []
+        assert decoder.recover(3) == []
+
+    def test_parity_completes_block_and_recovers_missing(self):
+        messages, parities = build_block(k=3, r=2)
+        decoder = FecBlockDecoder()
+        decoder.on_data(messages[0])
+        decoder.on_data(messages[2])
+        recovered = decoder.on_parity(parities[0])
+        assert [m.seq for m in recovered] == [2]
+        assert recovered[0].payload == messages[1].payload
+        assert recovered[0].sender == messages[1].sender
+        assert decoder.recovered_count == 1
+
+    def test_decode_fills_several_gaps_at_once(self):
+        messages, parities = build_block(k=4, r=2)
+        decoder = FecBlockDecoder()
+        decoder.on_data(messages[0])
+        decoder.on_data(messages[3])
+        assert decoder.on_parity(parities[0]) == []  # 3 of 4 shards: not enough
+        recovered = decoder.on_parity(parities[1])
+        assert sorted(m.seq for m in recovered) == [2, 3]
+        by_seq = {m.seq: m for m in recovered}
+        assert by_seq[2].payload == messages[1].payload
+        assert by_seq[3].payload == messages[2].payload
+
+    def test_data_arrival_after_parity_triggers_decode(self):
+        messages, parities = build_block(k=3, r=1)
+        decoder = FecBlockDecoder()
+        decoder.on_parity(parities[0])
+        decoder.on_data(messages[0])
+        recovered = decoder.on_data(messages[1])
+        assert [m.seq for m in recovered] == [3]
+
+    def test_fully_received_block_is_retired(self):
+        messages, parities = build_block(k=2, r=1)
+        decoder = FecBlockDecoder()
+        for message in messages:  # all data first: nothing to decode
+            decoder.on_data(message)
+        assert decoder.on_parity(parities[0]) == []
+        assert decoder.tracked_blocks == 0
+        assert decoder.cached_shards == 0
+        # Further shards for the retired block are ignored, not cached.
+        assert decoder.on_parity(parities[0]) == []
+        assert decoder.on_data(messages[0]) == []
+        assert decoder.cached_shards == 0
+
+    def test_duplicate_feeds_are_idempotent(self):
+        messages, parities = build_block(k=3, r=1)
+        decoder = FecBlockDecoder()
+        decoder.on_data(messages[0])
+        decoder.on_data(messages[0])
+        decoder.on_parity(parities[0])
+        assert decoder.on_parity(parities[0]) == []
+        recovered = decoder.on_data(messages[1])
+        assert [m.seq for m in recovered] == [3]
+
+    def test_recover_is_a_safety_net(self):
+        """Feeds decode eagerly, so recover() only confirms the state:
+        it returns [] for unknown blocks, short blocks and retired
+        blocks — never racing the eager path."""
+        messages, parities = build_block(k=3, r=2)
+        decoder = FecBlockDecoder()
+        assert decoder.recover(1) == []  # no parity announced the block yet
+        decoder.on_parity(parities[0])
+        assert decoder.recover(2) == []  # 1 of 3 shards: not enough
+        decoder.on_data(messages[0])
+        recovered = decoder.on_data(messages[1])  # eager decode fires here
+        assert [m.seq for m in recovered] == [3]
+        assert decoder.recover(3) == []  # already recovered and retired
+
+    def test_shard_cache_is_bounded(self):
+        decoder = FecBlockDecoder(max_cached_shards=4)
+        for seq in range(1, 10):
+            decoder.on_data(msg(seq))
+        assert decoder.cached_shards == 4
+
+    def test_round_trip_with_varied_payload_sizes(self):
+        """Shards of different lengths pad/strip transparently."""
+        payloads = ["", "x" * 40, "mid"]
+        messages, parities = build_block(k=3, r=2, payloads=payloads)
+        decoder = FecBlockDecoder()
+        decoder.on_data(messages[0])
+        recovered = decoder.on_parity(parities[0])
+        assert recovered == []  # only 2 of 3 shards so far
+        recovered = decoder.on_parity(parities[1])
+        assert sorted(m.seq for m in recovered) == [2, 3]
+        by_seq = {m.seq: m for m in recovered}
+        assert by_seq[2].payload == "x" * 40
+        assert by_seq[3].payload == "mid"

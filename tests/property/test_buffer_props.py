@@ -38,14 +38,18 @@ class TestTwoPhaseProperties:
         assert not policy.has(1)
         [record] = policy.buffer.records
         # Reconstruct the expected discard point: requests refresh only
-        # while the entry is still buffered.  A request landing exactly
-        # at the deadline loses the tie — the idle event was scheduled
-        # first and the engine fires equal-time events in schedule
-        # order — so the comparison is strict.
+        # while the entry is still buffered.  Equal-time events fire in
+        # schedule order, so a request landing exactly at the deadline
+        # loses the tie against the *original* idle event (armed before
+        # any request was scheduled) but wins it once any refresh has
+        # re-armed the timer (the re-scheduled event is newer than every
+        # pre-scheduled request).
         deadline = 40.0
+        refreshed = False
         for time in sorted(times):
-            if time < deadline:
+            if time < deadline or (time == deadline and refreshed):
                 deadline = time + 40.0
+                refreshed = True
         assert abs(record.discard_time - deadline) < 1e-6
 
     @given(times=request_times)

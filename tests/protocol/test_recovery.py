@@ -9,13 +9,16 @@ from repro.sim import RandomStreams
 
 class FakeRecoveryHost:
     def __init__(self, sim, trace, config=None, neighbors=(), parents=(),
-                 region_size=None, rtt=10.0, seed=11):
+                 region_size=None, rtt=10.0, seed=11, has_parent=None):
         self.node_id = 0
         self.sim = sim
         self.trace = trace
         self.config = config if config is not None else RrmpConfig(session_interval=None)
         self.neighbors = list(neighbors)
         self.parents = list(parents)
+        #: Structural parent-region existence; defaults to "has one
+        #: iff any parent members were given" (the common case).
+        self.has_parent = bool(parents) if has_parent is None else has_parent
         self._region_size = (
             region_size if region_size is not None else len(self.neighbors) + 1
         )
@@ -29,6 +32,9 @@ class FakeRecoveryHost:
 
     def parent_member_ids(self):
         return list(self.parents)
+
+    def has_parent_region(self):
+        return self.has_parent
 
     def region_size(self):
         return self._region_size
@@ -74,6 +80,33 @@ class TestLocalPhase:
         sim.run(until=100.0)
         assert host.sent_local == []
 
+    def test_local_phase_resumes_when_churn_adds_neighbors(self, sim, trace):
+        """A member alone in its region re-probes instead of going
+        silent: when churn adds a neighbour, local recovery resumes."""
+        host = FakeRecoveryHost(sim, trace, neighbors=[])
+        process = RecoveryProcess(host, 7, 0.0)
+        process.start()
+        sim.run(until=100.0)
+        assert host.sent_local == []
+        host.neighbors = [5]  # a peer joins the region
+        sim.run(until=300.0)
+        assert host.sent_local  # the idle probe picked the newcomer up
+        assert all(dst == 5 for _, dst, _ in host.sent_local)
+        # Probe cadence: first request lands on the next idle-threshold
+        # boundary (T=40 by default) after the join.
+        assert host.sent_local[0][0] == pytest.approx(120.0)
+
+    def test_idle_probe_stops_on_completion(self, sim, trace):
+        host = FakeRecoveryHost(sim, trace, neighbors=[])
+        process = RecoveryProcess(host, 7, 0.0)
+        process.start()
+        sim.run(until=50.0)
+        process.complete(sim.now)
+        assert sim.pending_events == 0  # no orphaned probe timers
+        host.neighbors = [5]
+        sim.run(until=500.0)
+        assert host.sent_local == []
+
     def test_timer_factor_stretches_rounds(self, sim, trace):
         config = RrmpConfig(session_interval=None, timer_factor=2.0)
         host = FakeRecoveryHost(sim, trace, config=config, neighbors=[1, 2])
@@ -85,9 +118,28 @@ class TestLocalPhase:
 class TestRemotePhase:
     def test_no_parent_region_does_nothing(self, sim, trace):
         host = FakeRecoveryHost(sim, trace, neighbors=[1], parents=[])
-        RecoveryProcess(host, 7, 0.0).start()
+        process = RecoveryProcess(host, 7, 0.0)
+        process.start()
         sim.run(until=100.0)
         assert host.sent_remote == []
+        # Structurally parentless (root region): the phase stays silent
+        # — no idle probe keeps the event queue alive forever.
+        assert not process._remote_timer.armed
+
+    def test_remote_phase_resumes_when_parent_region_refills(self, sim, trace):
+        """An emptied parent region refilling under churn revives the
+        remote phase (single-member region: every round sends)."""
+        host = FakeRecoveryHost(sim, trace, neighbors=[], parents=[],
+                                region_size=1, has_parent=True)
+        process = RecoveryProcess(host, 7, 0.0)
+        process.start()
+        sim.run(until=100.0)
+        assert host.sent_remote == []
+        host.parents = [9]
+        sim.run(until=300.0)
+        assert host.sent_remote
+        assert all(dst == 9 for _, dst, _ in host.sent_remote)
+        assert process.remote_rounds >= 1
 
     def test_probability_is_lambda_over_n(self, sim, trace):
         """§2.2: region-wide expected remote requests per round is λ."""
@@ -153,6 +205,22 @@ class TestCompletion:
         sim.run(until=100.0)
         assert trace.count("recovery_completed") == 0
         assert len(host.sent_local) == 1  # only the initial round
+
+    def test_cancel_is_distinct_from_completion(self, sim, trace):
+        """Shutdown-cancelled recoveries must not look like successes
+        to metrics: ``cancelled`` is set, ``completed`` is not."""
+        host = FakeRecoveryHost(sim, trace, neighbors=[1])
+        process = RecoveryProcess(host, 7, 0.0)
+        process.start()
+        process.cancel()
+        assert process.cancelled
+        assert not process.completed
+        assert not process.failed
+        assert not process.active
+        # A late arrival cannot resurrect a cancelled recovery.
+        process.complete(50.0)
+        assert not process.completed
+        assert trace.count("recovery_completed") == 0
 
 
 class TestGiveUp:
