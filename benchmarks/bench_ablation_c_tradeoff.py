@@ -5,7 +5,7 @@ from repro.experiments.ablation_c import run_c_tradeoff
 
 
 def test_ablation_c_tradeoff(benchmark, show):
-    table = run_once(benchmark, run_c_tradeoff,
+    table = run_once(benchmark, run_c_tradeoff, bench_id="ablation_c_tradeoff",
                      cs=(1.0, 2.0, 3.0, 4.0, 6.0, 8.0), n=100, seeds=30)
     show(table)
     copies = table.series["mean long-term copies (buffer cost)"]

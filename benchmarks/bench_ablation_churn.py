@@ -5,7 +5,8 @@ from repro.experiments.ablation_churn import run_churn_handoff
 
 
 def test_ablation_churn_handoff(benchmark, show):
-    table = run_once(benchmark, run_churn_handoff, n=50, c=4.0, seeds=30)
+    table = run_once(benchmark, run_churn_handoff, bench_id="ablation_churn_handoff",
+                     n=50, c=4.0, seeds=30)
     show(table)
     survived = table.series["message survived (%)"]
     transfers = table.series["handoff transfers"]

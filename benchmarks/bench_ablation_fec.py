@@ -6,7 +6,7 @@ from repro.experiments.ablation_fec import run_fec_ablation
 
 def test_ablation_fec(benchmark, show):
     table = run_once(
-        benchmark, run_fec_ablation,
+        benchmark, run_fec_ablation, bench_id="ablation_fec",
         points=((4, 1), (8, 1), (8, 2)),
         loss_rates=(0.1, 0.3),
         seeds=5,

@@ -5,7 +5,8 @@ from repro.experiments.ablation_hash import run_hash_vs_random
 
 
 def test_ablation_hash_vs_random(benchmark, show):
-    table = run_once(benchmark, run_hash_vs_random, n=100, c=6.0, seeds=50)
+    table = run_once(benchmark, run_hash_vs_random, bench_id="ablation_hash_vs_random",
+                     n=100, c=6.0, seeds=50)
     show(table)
     randomized, deterministic = 0, 1
     hashes = table.series["hash evaluations"]

@@ -5,7 +5,7 @@ from repro.experiments.ablation_idle import run_idle_threshold
 
 
 def test_ablation_idle_threshold(benchmark, show):
-    table = run_once(benchmark, run_idle_threshold,
+    table = run_once(benchmark, run_idle_threshold, bench_id="ablation_idle_threshold",
                      thresholds=(10.0, 20.0, 40.0, 80.0, 160.0),
                      n=100, k=4, seeds=20)
     show(table)

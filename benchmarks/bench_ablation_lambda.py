@@ -5,7 +5,7 @@ from repro.experiments.ablation_lambda import run_lambda_sweep
 
 
 def test_ablation_lambda_sweep(benchmark, show):
-    table = run_once(benchmark, run_lambda_sweep,
+    table = run_once(benchmark, run_lambda_sweep, bench_id="ablation_lambda",
                      lams=(0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
                      region_size=50, seeds=30)
     show(table)

@@ -5,7 +5,7 @@ from repro.experiments.ablation_policies import run_policy_comparison
 
 
 def test_ablation_policy_comparison(benchmark, show):
-    table = run_once(benchmark, run_policy_comparison,
+    table = run_once(benchmark, run_policy_comparison, bench_id="ablation_policies",
                      region_size=20, messages=30, interval=20.0,
                      loss=0.05, seeds=3)
     show(table)

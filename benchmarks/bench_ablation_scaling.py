@@ -5,7 +5,7 @@ from repro.experiments.ablation_scaling import run_scaling
 
 
 def test_ablation_scaling(benchmark, show):
-    table = run_once(benchmark, run_scaling,
+    table = run_once(benchmark, run_scaling, bench_id="ablation_scaling",
                      ns=(25, 50, 100, 200, 400), seeds=8)
     show(table)
     recovery = table.series["time to full recovery (ms)"]

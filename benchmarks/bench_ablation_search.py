@@ -5,7 +5,7 @@ from repro.experiments.ablation_search_storm import run_search_vs_multicast
 
 
 def test_ablation_search_vs_multicast(benchmark, show):
-    table = run_once(benchmark, run_search_vs_multicast,
+    table = run_once(benchmark, run_search_vs_multicast, bench_id="ablation_search_vs_multicast",
                      buffering_fractions=(0.06, 0.1, 0.25, 0.5, 1.0),
                      n=100, seeds=100)
     show(table)

@@ -9,7 +9,8 @@ from repro.experiments.fig3 import run_fig3
 
 
 def test_fig3_bufferer_distribution(benchmark, show):
-    table = run_once(benchmark, run_fig3, trials=20_000)
+    table = run_once(benchmark, run_fig3, bench_id="fig3",
+                     trials=20_000)
     show(table)
     # Shape: each analytic curve peaks near its C and shifts right.
     modes = []

@@ -9,7 +9,8 @@ from repro.experiments.fig4 import run_fig4
 
 
 def test_fig4_no_bufferer_probability(benchmark, show):
-    table = run_once(benchmark, run_fig4, trials=50_000)
+    table = run_once(benchmark, run_fig4, bench_id="fig4",
+                     trials=50_000)
     show(table)
     poisson = table.series["poisson e^-C"]
     assert all(a > b for a, b in zip(poisson, poisson[1:]))  # strictly decaying

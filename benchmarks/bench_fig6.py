@@ -10,7 +10,7 @@ from repro.experiments.fig6 import run_fig6
 
 
 def test_fig6_feedback_buffering(benchmark, show):
-    table = run_once(benchmark, run_fig6,
+    table = run_once(benchmark, run_fig6, bench_id="fig6",
                      ks=(1, 2, 4, 8, 16, 32, 64), n=100, seeds=20)
     show(table)
     times = table.series["avg buffering time (ms)"]

@@ -10,7 +10,8 @@ from repro.experiments.fig7 import run_fig7
 
 
 def test_fig7_received_vs_buffered(benchmark, show):
-    table = run_once(benchmark, run_fig7, n=100, k=1, seed=0,
+    table = run_once(benchmark, run_fig7, bench_id="fig7",
+                     n=100, k=1, seed=0,
                      sample_dt=5.0, horizon=200.0)
     show(table)
     received = table.series["#received"]

@@ -10,7 +10,7 @@ from repro.experiments.fig8 import run_fig8
 
 
 def test_fig8_search_time_vs_bufferers(benchmark, show):
-    table = run_once(benchmark, run_fig8,
+    table = run_once(benchmark, run_fig8, bench_id="fig8",
                      bs=tuple(range(1, 11)), n=100, seeds=100)
     show(table)
     times = table.series["mean search time (ms)"]

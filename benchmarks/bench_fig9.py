@@ -10,7 +10,7 @@ from repro.experiments.fig9 import run_fig9
 
 
 def test_fig9_search_time_vs_region_size(benchmark, show):
-    table = run_once(benchmark, run_fig9,
+    table = run_once(benchmark, run_fig9, bench_id="fig9",
                      ns=tuple(range(100, 1001, 100)), bufferers=10, seeds=50)
     show(table)
     times = table.series["mean search time (ms)"]

@@ -1,0 +1,67 @@
+"""Benchmarks of the sweep runner itself (not a paper figure).
+
+One cold serial run, one cold process-pool run, and one warm-cache
+replay of the same ``ablation_scaling`` sweep, each written to
+``BENCH_runner_*.json`` so the artifacts record the wall-clock
+relationship between the three execution modes.  The assertions pin the
+determinism contract (parallel and cached tables byte-identical to
+serial); relative speed is recorded, not asserted, because CI core
+counts vary.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import write_bench_json
+from repro.experiments.ablation_scaling import run_scaling
+from repro.runner import (
+    ProcessPoolBackend,
+    ResultCache,
+    Runner,
+    SerialBackend,
+    using_runner,
+)
+
+PARAMS = {"ns": (25, 50, 100), "seeds": 4}
+JOBS = 2
+
+
+def _run(backend, cache=None):
+    runner = Runner(backend=backend, cache=cache)
+    started = time.perf_counter()
+    with using_runner(runner):
+        table = run_scaling(**PARAMS)
+    return table, runner, time.perf_counter() - started
+
+
+def test_sweep_runner_modes(tmp_path, capsys):
+    serial_table, serial_runner, serial_wall = _run(SerialBackend())
+    write_bench_json("runner_serial", serial_table, serial_wall,
+                     serial_runner.stats.events_fired, PARAMS)
+
+    parallel_table, parallel_runner, parallel_wall = _run(
+        ProcessPoolBackend(JOBS), cache=ResultCache(tmp_path)
+    )
+    write_bench_json("runner_parallel", parallel_table, parallel_wall,
+                     parallel_runner.stats.events_fired, PARAMS)
+    assert parallel_table.to_json() == serial_table.to_json()
+    assert parallel_runner.stats.executed == serial_runner.stats.executed
+
+    warm_table, warm_runner, warm_wall = _run(
+        SerialBackend(), cache=ResultCache(tmp_path)
+    )
+    write_bench_json("runner_warm_cache", warm_table, warm_wall,
+                     warm_runner.stats.events_fired, PARAMS)
+    # The warm replay reads the parallel run's cache: zero executions,
+    # identical bytes — serial and pooled runs share one cache format.
+    assert warm_runner.stats.executed == 0
+    assert warm_runner.stats.cached == serial_runner.stats.executed
+    assert warm_table.to_json() == serial_table.to_json()
+    assert warm_wall < serial_wall
+
+    with capsys.disabled():
+        print(
+            f"\nsweep runner: serial {serial_wall:.2f}s, "
+            f"{JOBS}-process {parallel_wall:.2f}s, warm cache {warm_wall:.2f}s"
+        )

@@ -4,13 +4,58 @@ Each ``bench_*.py`` regenerates one paper figure (or ablation) exactly
 once under ``pytest-benchmark`` timing, prints the series table to the
 terminal (bypassing capture, so ``tee``d output keeps the rows), and
 asserts the shape properties the paper reports.
+
+Alongside the printed table, :func:`run_once` writes a machine-readable
+``BENCH_<id>.json`` (wall-clock seconds, engine events fired, the
+table's SHA-256 digest and full JSON form) so CI can archive the
+performance trajectory and compare runs without scraping stdout.  The
+output directory defaults to ``benchmarks/results`` and can be moved
+with ``$RRMP_BENCH_DIR``.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.metrics.report import SeriesTable
+from repro.sim.engine import total_events_fired
+
+#: Environment override for where BENCH_<id>.json artifacts land.
+BENCH_DIR_ENV = "RRMP_BENCH_DIR"
+
+
+def bench_output_dir() -> Path:
+    """``$RRMP_BENCH_DIR`` or ``benchmarks/results`` next to this file."""
+    override = os.environ.get(BENCH_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path(__file__).resolve().parent / "results"
+
+
+def write_bench_json(bench_id: str, table: SeriesTable, wall_s: float,
+                     events_fired: int, params: dict) -> Path:
+    """Write one benchmark's machine-readable artifact; returns its path."""
+    directory = bench_output_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{bench_id}.json"
+    payload = {
+        "bench_id": bench_id,
+        "wall_s": wall_s,
+        "events_fired": events_fired,
+        "table_digest": table.digest(),
+        "params": {key: list(value) if isinstance(value, tuple) else value
+                   for key, value in params.items()},
+        "unix_time": time.time(),
+        "table": table.to_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+    return path
 
 
 @pytest.fixture
@@ -26,6 +71,29 @@ def show(capsys):
     return _show
 
 
-def run_once(benchmark, fn, **kwargs):
-    """Run *fn* exactly once under benchmark timing and return its result."""
-    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)
+def run_once(benchmark, fn, bench_id=None, **kwargs):
+    """Run *fn* exactly once under benchmark timing and return its result.
+
+    When *bench_id* is given, a ``BENCH_<bench_id>.json`` artifact is
+    written with the run's wall clock, engine event count, and the
+    resulting table's digest.
+    """
+    accounting = {}
+
+    def measured():
+        events_before = total_events_fired()
+        started = time.perf_counter()
+        table = fn(**kwargs)
+        accounting["wall_s"] = time.perf_counter() - started
+        accounting["events"] = total_events_fired() - events_before
+        return table
+
+    table = benchmark.pedantic(measured, rounds=1, iterations=1)
+    if bench_id is not None and isinstance(table, SeriesTable):
+        write_bench_json(
+            bench_id, table,
+            wall_s=accounting.get("wall_s", 0.0),
+            events_fired=accounting.get("events", 0),
+            params=kwargs,
+        )
+    return table

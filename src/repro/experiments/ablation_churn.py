@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.experiments.base import seed_list
+from repro.experiments.base import run_sweep
 from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean
 from repro.net.latency import HierarchicalLatency
@@ -63,6 +63,15 @@ def _one_run(graceful: bool, n: int, c: float, seed: int,
     }
 
 
+def trial_churn(params: Dict[str, object], seed: int) -> Dict[str, float]:
+    """Runner trial: one departure-mode run (graceful leave vs crash)."""
+    return _one_run(
+        bool(params["graceful"]), int(params["n"]), float(params["c"]),
+        seed, float(params["depart_at"]), float(params["request_at"]),
+        float(params["horizon"]),
+    )
+
+
 def run_churn_handoff(
     n: int = 50,
     c: float = 4.0,
@@ -73,15 +82,16 @@ def run_churn_handoff(
 ) -> SeriesTable:
     """Graceful leave (handoff) vs crash: does the message survive?"""
     metric_names = ["message survived (%)", "handoff transfers", "copies after churn"]
+    modes = (("graceful leave + handoff", True), ("crash (no handoff)", False))
+    grid = [
+        {"graceful": graceful, "n": n, "c": c, "depart_at": depart_at,
+         "request_at": request_at, "horizon": horizon}
+        for _label, graceful in modes
+    ]
+    per_point = run_sweep("ablation_churn_handoff", trial_churn, grid, seeds)
     rows: Dict[str, List[float]] = {name: [] for name in metric_names}
-    labels = []
-    for label, graceful in (("graceful leave + handoff", True),
-                            ("crash (no handoff)", False)):
-        per_seed = [
-            _one_run(graceful, n, c, seed, depart_at, request_at, horizon)
-            for seed in seed_list(seeds)
-        ]
-        labels.append(label)
+    labels = [label for label, _graceful in modes]
+    for per_seed in per_point:
         for name in metric_names:
             rows[name].append(mean([run[name] for run in per_seed]))
     table = SeriesTable(

@@ -30,8 +30,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-from repro.experiments.base import seed_list
+from repro.experiments.base import run_sweeps, seed_list
 from repro.metrics.fec import summarize_fec
+from repro.runner import SweepSpec
 from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean
 from repro.net.ipmulticast import RegionCorrelatedOutcome
@@ -109,6 +110,25 @@ def _measure_tree(
     }
 
 
+def trial_fec_rrmp(params: Dict[str, object], seed: int) -> Dict[str, float]:
+    """Runner trial: one RRMP run at one ``(mode, k, r, loss)`` point."""
+    return _measure_rrmp(
+        str(params["mode"]), int(params["k"]), int(params["r"]),
+        float(params["loss"]), int(params["region_size"]),
+        int(params["messages"]), float(params["interval"]),
+        float(params["remote_lambda"]), seed, float(params["horizon"]),
+    )
+
+
+def trial_fec_tree(params: Dict[str, object], seed: int) -> Dict[str, float]:
+    """Runner trial: one RMTP-tree baseline run at one loss rate."""
+    return _measure_tree(
+        float(params["loss"]), int(params["region_size"]),
+        int(params["messages"]), float(params["interval"]),
+        seed, float(params["horizon"]),
+    )
+
+
 def run_fec_ablation(
     points: Sequence[Tuple[int, int]] = ((4, 1), (8, 1), (8, 2)),
     loss_rates: Sequence[float] = (0.1, 0.3),
@@ -149,52 +169,58 @@ def run_fec_ablation(
         "tree: mean latency (ms)": [],
         "tree: nacks": [],
     }
-    for k, r in points:
-        for loss in loss_rates:
-            per_mode: Dict[str, List[Dict[str, float]]] = {
-                mode: [] for mode in _RRMP_MODES
-            }
-            tree_runs: List[Dict[str, float]] = []
-            for seed in seed_list(seeds):
-                for mode in _RRMP_MODES:
-                    per_mode[mode].append(
-                        _measure_rrmp(
-                            mode, k, r, loss, region_size, messages,
-                            interval, remote_lambda, seed, horizon,
-                        )
-                    )
-                tree_runs.append(
-                    _measure_tree(
-                        loss, region_size, messages, interval, seed, horizon
-                    )
-                )
+    shared = {
+        "region_size": region_size, "messages": messages,
+        "interval": interval, "horizon": horizon,
+    }
+    sweep_points = [(k, r, loss) for k, r in points for loss in loss_rates]
+    rrmp_grid = [
+        {"mode": mode, "k": k, "r": r, "loss": loss,
+         "remote_lambda": remote_lambda, **shared}
+        for k, r, loss in sweep_points
+        for mode in _RRMP_MODES
+    ]
+    # The tree baseline ignores (k, r); duplicate loss points coalesce
+    # into one execution per (loss, seed) inside the runner.
+    tree_grid = [{"loss": loss, **shared} for _k, _r, loss in sweep_points]
+    seeds_list = seed_list(seeds)
+    rrmp_results, tree_results = run_sweeps([
+        SweepSpec("ablation_fec", trial_fec_rrmp, rrmp_grid, seeds_list),
+        SweepSpec("ablation_fec", trial_fec_tree, tree_grid, seeds_list),
+    ])
+    for index, (k, r, loss) in enumerate(sweep_points):
+        per_mode: Dict[str, List[Dict[str, float]]] = {
+            mode: rrmp_results[index * len(_RRMP_MODES) + offset]
+            for offset, mode in enumerate(_RRMP_MODES)
+        }
+        tree_runs: List[Dict[str, float]] = tree_results[index]
 
-            def avg(runs: List[Dict[str, float]], key: str) -> float:
-                values = [run[key] for run in runs if run[key] == run[key]]
-                return mean(values) if values else float("nan")
+        def avg(runs: List[Dict[str, float]], key: str) -> float:
+            values = [run[key] for run in runs if run[key] == run[key]]
+            return mean(values) if values else float("nan")
 
-            columns["off: mean latency (ms)"].append(avg(per_mode["off"], "latency"))
-            columns["off: remote requests"].append(avg(per_mode["off"], "upstream"))
-            columns["proactive: mean latency (ms)"].append(
-                avg(per_mode["proactive"], "latency")
-            )
-            columns["proactive: remote requests"].append(
-                avg(per_mode["proactive"], "upstream")
-            )
-            columns["proactive: gaps decoded"].append(
-                avg(per_mode["proactive"], "fec_recovered")
-            )
-            columns["proactive: parity KB"].append(
-                avg(per_mode["proactive"], "parity_bytes") / 1024.0
-            )
-            columns["reactive: mean latency (ms)"].append(
-                avg(per_mode["reactive"], "latency")
-            )
-            columns["reactive: remote requests"].append(
-                avg(per_mode["reactive"], "upstream")
-            )
-            columns["tree: mean latency (ms)"].append(avg(tree_runs, "latency"))
-            columns["tree: nacks"].append(avg(tree_runs, "upstream"))
+        columns["off: mean latency (ms)"].append(avg(per_mode["off"], "latency"))
+        columns["off: remote requests"].append(avg(per_mode["off"], "upstream"))
+        columns["proactive: mean latency (ms)"].append(
+            avg(per_mode["proactive"], "latency")
+        )
+        columns["proactive: remote requests"].append(
+            avg(per_mode["proactive"], "upstream")
+        )
+        columns["proactive: gaps decoded"].append(
+            avg(per_mode["proactive"], "fec_recovered")
+        )
+        columns["proactive: parity KB"].append(
+            avg(per_mode["proactive"], "parity_bytes") / 1024.0
+        )
+        columns["reactive: mean latency (ms)"].append(
+            avg(per_mode["reactive"], "latency")
+        )
+        columns["reactive: remote requests"].append(
+            avg(per_mode["reactive"], "upstream")
+        )
+        columns["tree: mean latency (ms)"].append(avg(tree_runs, "latency"))
+        columns["tree: nacks"].append(avg(tree_runs, "upstream"))
     for name, values in columns.items():
         table.add_series(name, values)
     table.notes.append(

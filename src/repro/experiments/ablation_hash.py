@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.experiments.base import seed_list
+from repro.experiments.base import run_sweep
 from repro.hashing.deterministic import (
     HashBuffererPolicy,
     hash_evaluations,
@@ -68,6 +68,14 @@ def _one_run(use_hash: bool, n: int, c: float, seed: int,
     }
 
 
+def trial_hash_vs_random(params: Dict[str, object], seed: int) -> Dict[str, float]:
+    """Runner trial: one late-request locate under one selection scheme."""
+    return _one_run(
+        bool(params["use_hash"]), int(params["n"]), float(params["c"]),
+        seed, float(params["request_at"]), float(params["horizon"]),
+    )
+
+
 def run_hash_vs_random(
     n: int = 100,
     c: float = 6.0,
@@ -80,15 +88,17 @@ def run_hash_vs_random(
         "locate time (ms)", "locate messages", "hash evaluations",
         "copies held", "unserved",
     ]
+    schemes = (("randomized + search (RRMP)", False),
+               ("deterministic hash (NGC'99)", True))
+    grid = [
+        {"use_hash": use_hash, "n": n, "c": c,
+         "request_at": request_at, "horizon": horizon}
+        for _label, use_hash in schemes
+    ]
+    per_point = run_sweep("ablation_hash_vs_random", trial_hash_vs_random, grid, seeds)
     rows: Dict[str, List[float]] = {name: [] for name in metric_names}
-    labels = []
-    for label, use_hash in (("randomized + search (RRMP)", False),
-                            ("deterministic hash (NGC'99)", True)):
-        per_seed = [
-            _one_run(use_hash, n, c, seed, request_at, horizon)
-            for seed in seed_list(seeds)
-        ]
-        labels.append(label)
+    labels = [label for label, _use_hash in schemes]
+    for per_seed in per_point:
         for name in metric_names:
             values = [run[name] for run in per_seed if run[name] == run[name]]
             rows[name].append(mean(values) if values else float("nan"))

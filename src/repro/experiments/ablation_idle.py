@@ -10,12 +10,27 @@ region of the knob is the right one.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
-from repro.experiments.base import seed_list
+from repro.experiments.base import run_sweep
 from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean
 from repro.workloads.scenarios import run_initial_holders
+
+
+def trial_idle_threshold(params: Dict[str, object], seed: int) -> Dict[str, object]:
+    """Runner trial: one Figure-6-style run at a given idle threshold."""
+    result = run_initial_holders(
+        int(params["n"]), int(params["k"]), seed=seed,
+        idle_threshold=float(params["threshold"]), rtt=float(params["rtt"]),
+    )
+    durations = result.holder_buffering_durations()
+    stats = result.simulation.network.stats
+    return {
+        "mean_buffering_ms": mean(durations) if durations else None,
+        "violations": result.simulation.violation_count(),
+        "local_requests": float(stats.sent_by_type.get("LocalRequest", 0)),
+    }
 
 
 def run_idle_threshold(
@@ -34,22 +49,20 @@ def run_idle_threshold(
         x_label="idle threshold T (ms)",
         xs=list(thresholds),
     )
+    grid = [
+        {"n": n, "k": k, "threshold": threshold, "rtt": rtt}
+        for threshold in thresholds
+    ]
+    per_point = run_sweep("ablation_idle_threshold", trial_idle_threshold, grid, seeds)
     buffering, violations, requests = [], [], []
-    for threshold in thresholds:
-        buffering_per_seed, violation_total, request_per_seed = [], 0, []
-        for seed in seed_list(seeds):
-            result = run_initial_holders(
-                n, k, seed=seed, idle_threshold=threshold, rtt=rtt
-            )
-            durations = result.holder_buffering_durations()
-            if durations:
-                buffering_per_seed.append(mean(durations))
-            violation_total += result.simulation.violation_count()
-            stats = result.simulation.network.stats
-            request_per_seed.append(float(stats.sent_by_type.get("LocalRequest", 0)))
+    for runs in per_point:
+        buffering_per_seed = [
+            run["mean_buffering_ms"] for run in runs
+            if run["mean_buffering_ms"] is not None
+        ]
         buffering.append(mean(buffering_per_seed) if buffering_per_seed else float("nan"))
-        violations.append(violation_total)
-        requests.append(mean(request_per_seed))
+        violations.append(sum(run["violations"] for run in runs))
+        requests.append(mean([run["local_requests"] for run in runs]))
     table.add_series("mean holder buffering time (ms)", buffering)
     table.add_series("reliability violations", violations)
     table.add_series("mean local requests per run", requests)

@@ -15,9 +15,9 @@ recovered (remote repair + regional re-multicast).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
-from repro.experiments.base import seed_list
+from repro.experiments.base import run_sweep
 from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean
 from repro.net.latency import HierarchicalLatency
@@ -25,6 +25,48 @@ from repro.net.topology import chain
 from repro.protocol.config import RrmpConfig
 from repro.protocol.messages import DataMessage
 from repro.protocol.rrmp import RrmpSimulation
+
+
+def trial_lambda(params: Dict[str, object], seed: int) -> Dict[str, float]:
+    """Runner trial: one full-region-loss recovery at a given λ."""
+    region_size = int(params["region_size"])
+    horizon = float(params["horizon"])
+    hierarchy = chain([region_size, region_size])
+    config = RrmpConfig(
+        remote_lambda=float(params["lam"]),
+        session_interval=None,
+        max_recovery_time=horizon,
+    )
+    simulation = RrmpSimulation(
+        hierarchy, config=config, seed=seed,
+        latency=HierarchicalLatency(
+            hierarchy, inter_one_way=float(params["inter_one_way"])
+        ),
+    )
+    data = DataMessage(seq=1, sender=simulation.sender.node_id)
+    for node in hierarchy.regions[0].members:
+        simulation.members[node].inject_receive(data)
+    for node in hierarchy.regions[1].members:
+        simulation.members[node].inject_loss_detection(1)
+    simulation.run(until=horizon)
+    stats = simulation.network.stats
+    child = hierarchy.regions[1].members
+    recovered = [
+        record.time
+        for record in simulation.trace.of_kind("member_received")
+        if record["node"] in set(child)
+    ]
+    latencies = simulation.recovery_latencies()
+    return {
+        "remote_requests": stats.sent_by_type.get("RemoteRequest", 0),
+        # Remote repairs = repairs unicast across the link (scope
+        # remote/relay) observed as served remote requests.
+        "remote_repairs": simulation.trace.count("remote_request_served"),
+        "full_recovery_ms": (
+            max(recovered) if len(recovered) == len(child) else float("nan")
+        ),
+        "mean_latency_ms": mean(latencies) if latencies else float("nan"),
+    }
 
 
 def run_lambda_sweep(
@@ -43,44 +85,18 @@ def run_lambda_sweep(
         x_label="lambda",
         xs=list(lams),
     )
+    grid = [
+        {"lam": lam, "region_size": region_size,
+         "inter_one_way": inter_one_way, "horizon": horizon}
+        for lam in lams
+    ]
+    per_point = run_sweep("ablation_lambda", trial_lambda, grid, seeds)
     remote_requests, remote_repairs, full_recovery, mean_latency = [], [], [], []
-    for lam in lams:
-        requests_per_seed, repairs_per_seed, recover_per_seed, latency_per_seed = [], [], [], []
-        for seed in seed_list(seeds):
-            hierarchy = chain([region_size, region_size])
-            config = RrmpConfig(
-                remote_lambda=lam,
-                session_interval=None,
-                max_recovery_time=horizon,
-            )
-            simulation = RrmpSimulation(
-                hierarchy, config=config, seed=seed,
-                latency=HierarchicalLatency(hierarchy, inter_one_way=inter_one_way),
-            )
-            data = DataMessage(seq=1, sender=simulation.sender.node_id)
-            for node in hierarchy.regions[0].members:
-                simulation.members[node].inject_receive(data)
-            for node in hierarchy.regions[1].members:
-                simulation.members[node].inject_loss_detection(1)
-            simulation.run(until=horizon)
-            stats = simulation.network.stats
-            requests_per_seed.append(stats.sent_by_type.get("RemoteRequest", 0))
-            # Remote repairs = repairs unicast across the link (scope
-            # remote/relay) observed as served remote requests.
-            repairs_per_seed.append(simulation.trace.count("remote_request_served"))
-            child = hierarchy.regions[1].members
-            recovered = [
-                record.time
-                for record in simulation.trace.of_kind("member_received")
-                if record["node"] in set(child)
-            ]
-            recover_per_seed.append(
-                max(recovered) if len(recovered) == len(child) else float("nan")
-            )
-            latencies = simulation.recovery_latencies()
-            latency_per_seed.append(mean(latencies) if latencies else float("nan"))
-        remote_requests.append(mean(requests_per_seed))
-        remote_repairs.append(mean(repairs_per_seed))
+    for runs in per_point:
+        recover_per_seed = [run["full_recovery_ms"] for run in runs]
+        latency_per_seed = [run["mean_latency_ms"] for run in runs]
+        remote_requests.append(mean([run["remote_requests"] for run in runs]))
+        remote_repairs.append(mean([run["remote_repairs"] for run in runs]))
         full_recovery.append(mean([v for v in recover_per_seed if v == v] or [float("nan")]))
         mean_latency.append(mean([v for v in latency_per_seed if v == v] or [float("nan")]))
     table.add_series("mean remote requests sent", remote_requests)

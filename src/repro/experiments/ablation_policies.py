@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.core.policies import FixedTimePolicy, NeverDiscardPolicy
-from repro.experiments.base import seed_list
+from repro.experiments.base import run_sweep
 from repro.hashing.deterministic import HashBuffererPolicy
 from repro.metrics.occupancy import OccupancyProbe
 from repro.metrics.report import SeriesTable
@@ -38,8 +38,36 @@ from repro.tree.rmtp import TreeSimulation
 from repro.workloads.traffic import UniformStream
 
 
+#: The compared schemes, in table order.  Factories live here (not in
+#: trial params) so trial specs stay picklable: the trial function
+#: resolves its factory by label inside the worker process.
+_POLICIES: "List[tuple]" = [
+    ("two-phase C=6 T=40", None, False),  # None -> facade default (two-phase)
+    ("fixed-time 200ms", lambda _n: FixedTimePolicy(200.0), False),
+    ("fixed-time 1000ms", lambda _n: FixedTimePolicy(1000.0), False),
+    ("stability-gossip", lambda _n: StabilityBufferPolicy(), True),
+    ("hash C=6", lambda _n: HashBuffererPolicy(6.0), False),
+    ("never-discard", lambda _n: NeverDiscardPolicy(), False),
+    ("repair-server tree", "tree", False),
+]
+
+_POLICY_BY_LABEL: Dict[str, tuple] = {label: entry for (label, *entry) in _POLICIES}
+
+
+def trial_policy(params: Dict[str, object], seed: int) -> Dict[str, float]:
+    """Runner trial: one streamed-WAN run under one buffering policy."""
+    factory, needs_stability = _POLICY_BY_LABEL[str(params["policy"])]
+    args = (
+        int(params["region_size"]), int(params["messages"]),
+        float(params["interval"]), float(params["loss"]),
+        seed, float(params["horizon"]),
+    )
+    if factory == "tree":
+        return _measure_tree(*args)
+    return _measure_rrmp(factory, needs_stability, *args)
+
+
 def _measure_rrmp(
-    policy_name: str,
     policy_factory: Optional[Callable],
     needs_stability: bool,
     region_size: int,
@@ -148,15 +176,6 @@ def run_policy_comparison(
 ) -> SeriesTable:
     """Compare all buffering schemes on one streamed-WAN workload."""
     horizon = messages * interval + settle
-    policies = [
-        ("two-phase C=6 T=40", None, False),  # None -> facade default (two-phase)
-        ("fixed-time 200ms", lambda _n: FixedTimePolicy(200.0), False),
-        ("fixed-time 1000ms", lambda _n: FixedTimePolicy(1000.0), False),
-        ("stability-gossip", lambda _n: StabilityBufferPolicy(), True),
-        ("hash C=6", lambda _n: HashBuffererPolicy(6.0), False),
-        ("never-discard", lambda _n: NeverDiscardPolicy(), False),
-        ("repair-server tree", "tree", False),
-    ]
     metric_names = [
         "avg total occupancy",
         "peak single-node occupancy",
@@ -166,19 +185,15 @@ def run_policy_comparison(
         "undelivered",
         "violations",
     ]
+    labels = [label for label, _factory, _needs in _POLICIES]
+    grid = [
+        {"policy": label, "region_size": region_size, "messages": messages,
+         "interval": interval, "loss": loss, "horizon": horizon}
+        for label in labels
+    ]
+    per_point = run_sweep("ablation_policies", trial_policy, grid, seeds)
     columns: Dict[str, List[float]] = {name: [] for name in metric_names}
-    labels: List[str] = []
-    for label, factory, needs_stability in policies:
-        per_seed: List[Dict[str, float]] = []
-        for seed in seed_list(seeds):
-            if factory == "tree":
-                per_seed.append(_measure_tree(
-                    region_size, messages, interval, loss, seed, horizon))
-            else:
-                per_seed.append(_measure_rrmp(
-                    label, factory, needs_stability,
-                    region_size, messages, interval, loss, seed, horizon))
-        labels.append(label)
+    for per_seed in per_point:
         for name in metric_names:
             columns[name].append(mean([run[name] for run in per_seed]))
     table = SeriesTable(

@@ -15,10 +15,10 @@ every member pays grow with n:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.epidemic import pull_epidemic_rounds
-from repro.experiments.base import seed_list
+from repro.experiments.base import run_sweep
 from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean
 from repro.net.latency import ConstantLatency
@@ -26,6 +26,40 @@ from repro.net.topology import single_region
 from repro.protocol.config import RrmpConfig
 from repro.protocol.messages import DataMessage
 from repro.protocol.rrmp import RrmpSimulation
+
+
+def trial_scaling(params: Dict[str, object], seed: int) -> Dict[str, float]:
+    """Runner trial: one §4 whole-region workload at region size *n*."""
+    n = int(params["n"])
+    k = max(1, round(float(params["holder_fraction"]) * n))
+    hierarchy = single_region(n)
+    config = RrmpConfig(
+        long_term_c=float(params["long_term_c"]),
+        session_interval=None,
+        max_recovery_time=5_000.0,
+    )
+    simulation = RrmpSimulation(
+        hierarchy, config=config, seed=seed,
+        latency=ConstantLatency(float(params["rtt"]) / 2.0),
+    )
+    data = DataMessage(seq=1, sender=simulation.sender.node_id)
+    rng = simulation.streams.stream("scaling", "holders")
+    holders = set(rng.sample(hierarchy.nodes, k))
+    for node in hierarchy.nodes:
+        member = simulation.members[node]
+        if node in holders:
+            member.inject_receive(data)
+        else:
+            member.inject_loss_detection(1)
+    simulation.run(duration=3_000.0)
+    received = [record.time for record
+                in simulation.trace.of_kind("member_received")]
+    stats = simulation.network.stats
+    return {
+        "recovery_ms": max(received) if len(received) == n else float("nan"),
+        "requests_per_member": stats.sent_by_type.get("LocalRequest", 0) / n,
+        "copies": float(simulation.buffering_count(1)),
+    }
 
 
 def run_scaling(
@@ -44,42 +78,18 @@ def run_scaling(
         x_label="region size n",
         xs=list(ns),
     )
+    grid = [
+        {"n": n, "holder_fraction": holder_fraction,
+         "long_term_c": long_term_c, "rtt": rtt}
+        for n in ns
+    ]
+    per_point = run_sweep("ablation_scaling", trial_scaling, grid, seeds)
     recovery_ms, requests_per_member, copies, model_rounds = [], [], [], []
-    for n in ns:
-        k = max(1, round(holder_fraction * n))
-        recovery_per_seed, requests_per_seed, copies_per_seed = [], [], []
-        for seed in seed_list(seeds):
-            hierarchy = single_region(n)
-            config = RrmpConfig(
-                long_term_c=long_term_c,
-                session_interval=None,
-                max_recovery_time=5_000.0,
-            )
-            simulation = RrmpSimulation(
-                hierarchy, config=config, seed=seed,
-                latency=ConstantLatency(rtt / 2.0),
-            )
-            data = DataMessage(seq=1, sender=simulation.sender.node_id)
-            rng = simulation.streams.stream("scaling", "holders")
-            holders = set(rng.sample(hierarchy.nodes, k))
-            for node in hierarchy.nodes:
-                member = simulation.members[node]
-                if node in holders:
-                    member.inject_receive(data)
-                else:
-                    member.inject_loss_detection(1)
-            simulation.run(duration=3_000.0)
-            received = [record.time for record
-                        in simulation.trace.of_kind("member_received")]
-            recovery_per_seed.append(max(received) if len(received) == n else float("nan"))
-            stats = simulation.network.stats
-            requests_per_seed.append(
-                stats.sent_by_type.get("LocalRequest", 0) / n
-            )
-            copies_per_seed.append(float(simulation.buffering_count(1)))
+    for n, runs in zip(ns, per_point):
+        recovery_per_seed = [run["recovery_ms"] for run in runs]
         recovery_ms.append(mean([v for v in recovery_per_seed if v == v]))
-        requests_per_member.append(mean(requests_per_seed))
-        copies.append(mean(copies_per_seed))
+        requests_per_member.append(mean([run["requests_per_member"] for run in runs]))
+        copies.append(mean([run["copies"] for run in runs]))
         model_rounds.append(pull_epidemic_rounds(n, max(1, round(holder_fraction * n))) * rtt)
     table.add_series("time to full recovery (ms)", recovery_ms)
     table.add_series("mean-field model (ms)", model_rounds)

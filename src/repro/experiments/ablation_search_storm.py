@@ -21,9 +21,9 @@ one "I have the message" reply.
 from __future__ import annotations
 
 import random
-from typing import Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
-from repro.experiments.base import seed_list
+from repro.experiments.base import run_sweep
 from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean
 from repro.workloads.scenarios import run_search
@@ -54,6 +54,25 @@ def simulate_multicast_replies(
     return (replies, one_way + earliest)
 
 
+def trial_storm(params: Dict[str, object], seed: int) -> Dict[str, float]:
+    """Runner trial: one multicast-request round plus one randomized search."""
+    n = int(params["n"])
+    bufferers = int(params["bufferers"])
+    rng = random.Random((seed << 16) ^ 0x5EED)
+    replies, first = simulate_multicast_replies(
+        n, bufferers, backoff_c=float(params["backoff_c"]), rng=rng
+    )
+    result = run_search(n, bufferers, seed=seed)
+    # Search traffic: forwarded hops + the single HaveReply
+    # regional multicast (counted as 1 logical message).
+    return {
+        "replies": float(replies),
+        "first_reply_ms": first,
+        "search_messages": float(result.search_forwards + 1),
+        "search_time_ms": result.search_time or 0.0,
+    }
+
+
 def run_search_vs_multicast(
     buffering_fractions: Sequence[float] = (0.06, 0.1, 0.25, 0.5, 1.0),
     n: int = 100,
@@ -75,28 +94,18 @@ def run_search_vs_multicast(
         x_label="buffering fraction",
         xs=list(buffering_fractions),
     )
+    grid = [
+        {"n": n, "bufferers": max(1, round(fraction * n)), "backoff_c": backoff_c}
+        for fraction in buffering_fractions
+    ]
+    per_point = run_sweep("ablation_search_vs_multicast", trial_storm, grid, seeds)
     multicast_replies, multicast_latency = [], []
     search_messages, search_latency = [], []
-    for fraction in buffering_fractions:
-        bufferers = max(1, round(fraction * n))
-        replies_per_seed, latency_per_seed = [], []
-        hops_per_seed, stime_per_seed = [], []
-        for seed in seed_list(seeds):
-            rng = random.Random((seed << 16) ^ 0x5EED)
-            replies, first = simulate_multicast_replies(
-                n, bufferers, backoff_c=backoff_c, rng=rng
-            )
-            replies_per_seed.append(float(replies))
-            latency_per_seed.append(first)
-            result = run_search(n, bufferers, seed=seed)
-            # Search traffic: forwarded hops + the single HaveReply
-            # regional multicast (counted as 1 logical message).
-            hops_per_seed.append(float(result.search_forwards + 1))
-            stime_per_seed.append(result.search_time or 0.0)
-        multicast_replies.append(mean(replies_per_seed))
-        multicast_latency.append(mean(latency_per_seed))
-        search_messages.append(mean(hops_per_seed))
-        search_latency.append(mean(stime_per_seed))
+    for runs in per_point:
+        multicast_replies.append(mean([run["replies"] for run in runs]))
+        multicast_latency.append(mean([run["first_reply_ms"] for run in runs]))
+        search_messages.append(mean([run["search_messages"] for run in runs]))
+        search_latency.append(mean([run["search_time_ms"] for run in runs]))
     table.add_series("multicast: duplicate replies", multicast_replies)
     table.add_series("multicast: first-reply time (ms)", multicast_latency)
     table.add_series("search: messages", search_messages)

@@ -3,13 +3,22 @@
 Every experiment returns a :class:`repro.metrics.report.SeriesTable`
 whose rows are directly comparable to the corresponding paper figure;
 benchmarks print them and EXPERIMENTS.md quotes them.
+
+Per-seed work lives in **top-level trial functions** — picklable
+``(params, seed) -> JSON-serializable dict`` units — which experiments
+fan out with :func:`run_sweep` through the ambient
+:class:`repro.runner.Runner`.  The default runner executes serially
+with no cache (the historical behaviour); the CLI installs a parallel,
+cached runner via ``--jobs`` / ``--cache-dir``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, TypeVar
+from typing import Any, Dict, List, Sequence
 
-T = TypeVar("T")
+from repro.runner import SweepSpec, current_runner
+
+__all__ = ["seed_list", "run_sweep", "run_sweeps"]
 
 
 def seed_list(seeds: int, base: int = 0) -> List[int]:
@@ -17,14 +26,25 @@ def seed_list(seeds: int, base: int = 0) -> List[int]:
     return [base + i for i in range(seeds)]
 
 
-def mean_over_seeds(fn: Callable[[int], float], seeds: Sequence[int]) -> float:
-    """Average a scalar measurement over seeds."""
-    values = [fn(seed) for seed in seeds]
-    if not values:
-        raise ValueError("mean_over_seeds() with no seeds")
-    return sum(values) / len(values)
+def run_sweep(
+    experiment_id: str,
+    trial: Any,
+    grid: Sequence[Dict[str, Any]],
+    seeds: "int | Sequence[int]",
+) -> List[List[Any]]:
+    """Fan ``grid`` × ``seeds`` through the ambient runner.
+
+    ``seeds`` may be a repetition count (expanded via :func:`seed_list`,
+    the convention every experiment uses) or an explicit seed sequence.
+    Returns one result list per grid point, per-seed results in seed
+    order — regardless of the backend's parallelism.
+    """
+    if isinstance(seeds, int):
+        seeds = seed_list(seeds)
+    sweep = SweepSpec(experiment_id, trial, list(grid), list(seeds))
+    return current_runner().run_sweep(sweep)
 
 
-def collect_over_seeds(fn: Callable[[int], T], seeds: Sequence[int]) -> List[T]:
-    """Run a measurement for each seed and collect the results."""
-    return [fn(seed) for seed in seeds]
+def run_sweeps(sweeps: Sequence[SweepSpec]) -> List[List[List[Any]]]:
+    """Run several sweeps as one batch through the ambient runner."""
+    return current_runner().run_sweeps(sweeps)

@@ -5,10 +5,20 @@ Usage::
     rrmp-experiments list
     rrmp-experiments run fig6
     rrmp-experiments run fig8 --param seeds=25 --param n=50
-    rrmp-experiments all --quick
+    rrmp-experiments run ablation_scaling --quick --jobs 4
+    rrmp-experiments all --quick --jobs 4 --cache-dir /tmp/rrmp-cache
 
 ``--param key=value`` values are parsed as Python literals (numbers,
 tuples, booleans) and passed to the experiment function.
+
+``run`` and ``all`` execute through the sweep runner: ``--jobs N``
+fans trials across N worker processes (byte-identical tables to
+``--jobs 1`` at equal seeds), and results are cached on disk keyed by
+``(experiment, params, seed, schema version)`` so re-runs are
+near-instant.  ``--no-cache`` disables the cache; ``--cache-dir``
+relocates it (default: ``$RRMP_CACHE_DIR`` or
+``~/.cache/rrmp-experiments``).  Tables go to stdout; the runner's
+trial accounting goes to stderr.
 """
 
 from __future__ import annotations
@@ -16,29 +26,19 @@ from __future__ import annotations
 import argparse
 import ast
 import sys
-from typing import Dict, List, Optional
+from typing import List, Optional
 
+from repro.experiments.quick import QUICK_PARAMS, quick_params_for
 from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
+from repro.runner import (
+    ProcessPoolBackend,
+    ResultCache,
+    Runner,
+    SerialBackend,
+    using_runner,
+)
 
-#: Reduced-cost parameter overrides used by ``all --quick`` (and smoke
-#: tests) so the complete suite finishes in seconds.
-QUICK_PARAMS: Dict[str, Dict[str, object]] = {
-    "fig3": {"trials": 2_000},
-    "fig4": {"trials": 2_000},
-    "fig6": {"seeds": 5},
-    "fig7": {},
-    "fig8": {"seeds": 20},
-    "fig9": {"ns": (100, 200, 400, 700, 1000), "seeds": 10},
-    "ablation_c_tradeoff": {"seeds": 10},
-    "ablation_lambda": {"seeds": 10},
-    "ablation_search_vs_multicast": {"seeds": 30},
-    "ablation_policies": {"seeds": 1, "messages": 15},
-    "ablation_hash_vs_random": {"seeds": 15},
-    "ablation_idle_threshold": {"seeds": 8},
-    "ablation_churn_handoff": {"seeds": 10},
-    "ablation_scaling": {"ns": (25, 50, 100, 200), "seeds": 4},
-    "ablation_fec": {"points": ((4, 1), (8, 2)), "loss_rates": (0.3,), "seeds": 3},
-}
+__all__ = ["QUICK_PARAMS", "build_parser", "main", "parse_param", "runner_from_args"]
 
 
 def parse_param(text: str) -> tuple:
@@ -51,6 +51,38 @@ def parse_param(text: str) -> tuple:
     except (ValueError, SyntaxError):
         value = raw  # fall back to the raw string
     return (key.strip(), value)
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1 (e.g. ``--jobs``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep-runner flags shared by ``run`` and ``all``."""
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="use reduced repetition counts (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="run trials across N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always execute trials, never read or write the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache location (default: $RRMP_CACHE_DIR or "
+             "~/.cache/rrmp-experiments)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,12 +100,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--param", action="append", default=[], type=parse_param,
         help="override an experiment parameter, e.g. --param seeds=10",
     )
+    _add_runner_arguments(run_parser)
     all_parser = commands.add_parser("all", help="run every experiment")
-    all_parser.add_argument(
-        "--quick", action="store_true",
-        help="use reduced repetition counts (seconds instead of minutes)",
-    )
+    _add_runner_arguments(all_parser)
     return parser
+
+
+def runner_from_args(args: argparse.Namespace) -> Runner:
+    """Build the runner the parsed ``run``/``all`` flags describe."""
+    if args.jobs > 1:
+        backend = ProcessPoolBackend(args.jobs)
+    else:
+        backend = SerialBackend()
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return Runner(backend=backend, cache=cache)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -85,16 +125,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{eid.ljust(width)}  {EXPERIMENTS[eid].description}")
         return 0
     if args.command == "run":
-        params = dict(args.param)
-        table = run_experiment(args.experiment, **params)
+        params = quick_params_for(args.experiment) if args.quick else {}
+        params.update(dict(args.param))
+        runner = runner_from_args(args)
+        try:
+            with using_runner(runner):
+                table = run_experiment(args.experiment, **params)
+        finally:
+            getattr(runner.backend, "close", lambda: None)()
         print(table.to_text())
+        print(f"runner: {runner.stats.summary()} jobs={args.jobs}", file=sys.stderr)
         return 0
     if args.command == "all":
-        for eid in experiment_ids():
-            params = QUICK_PARAMS.get(eid, {}) if args.quick else {}
-            table = run_experiment(eid, **params)
-            print(table.to_text())
-            print()
+        runner = runner_from_args(args)
+        try:
+            with using_runner(runner):
+                for eid in experiment_ids():
+                    params = quick_params_for(eid) if args.quick else {}
+                    table = run_experiment(eid, **params)
+                    print(table.to_text())
+                    print()
+        finally:
+            getattr(runner.backend, "close", lambda: None)()
+        print(f"runner: {runner.stats.summary()} jobs={args.jobs}", file=sys.stderr)
         return 0
     return 2  # pragma: no cover - argparse enforces the choices
 

@@ -13,10 +13,11 @@ implements the math.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, List, Sequence
 
 from repro.analysis.formulas import bufferer_pmf_poisson
 from repro.core.long_term import RandomizedLongTermSelector
+from repro.experiments.base import run_sweep
 from repro.metrics.report import SeriesTable
 from repro.sim import RandomStreams, Simulator
 
@@ -34,6 +35,14 @@ def sample_bufferer_counts(
     for _ in range(trials):
         counts.append(sum(1 for _member in range(n) if selector.decide(n)))
     return counts
+
+
+def trial_bufferer_counts(params: Dict[str, object], seed: int) -> Dict[str, List[int]]:
+    """Runner trial: one Monte-Carlo batch of §3.2 coin flips."""
+    counts = sample_bufferer_counts(
+        int(params["n"]), float(params["c"]), int(params["trials"]), seed=seed
+    )
+    return {"counts": counts}
 
 
 def run_fig3(
@@ -60,7 +69,9 @@ def run_fig3(
             f"analytic C={c:g}",
             [100.0 * bufferer_pmf_poisson(c, k) for k in range(max_k + 1)],
         )
-    counts = sample_bufferer_counts(n, simulate_c, trials, seed=seed)
+    grid = [{"n": n, "c": simulate_c, "trials": trials}]
+    (per_seed,) = run_sweep("fig3", trial_bufferer_counts, grid, [seed])
+    counts = per_seed[0]["counts"]
     histogram = [0] * (max_k + 1)
     for count in counts:
         if count <= max_k:

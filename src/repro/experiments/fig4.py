@@ -15,7 +15,8 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.analysis.formulas import prob_no_bufferer, prob_no_bufferer_binomial
-from repro.experiments.fig3 import sample_bufferer_counts
+from repro.experiments.base import run_sweep
+from repro.experiments.fig3 import trial_bufferer_counts
 from repro.metrics.report import SeriesTable
 
 
@@ -36,9 +37,11 @@ def run_fig4(
         f"binomial (1-C/n)^n, n={n}",
         [100.0 * prob_no_bufferer_binomial(n, c) for c in cs],
     )
+    grid = [{"n": n, "c": c, "trials": trials} for c in cs]
+    per_point = run_sweep("fig4", trial_bufferer_counts, grid, [seed])
     simulated = []
-    for c in cs:
-        counts = sample_bufferer_counts(n, c, trials, seed=seed)
+    for per_seed in per_point:
+        counts = per_seed[0]["counts"]
         simulated.append(100.0 * sum(1 for count in counts if count == 0) / trials)
     table.add_series(f"simulated ({trials} trials)", simulated)
     table.notes.append("paper: ~37% at C=1 decreasing exponentially to 0.25% at C=6")

@@ -15,12 +15,24 @@ therefore an earlier last-request + T discard point.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
-from repro.experiments.base import seed_list
+from repro.experiments.base import run_sweep
 from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean, stdev
 from repro.workloads.scenarios import run_initial_holders
+
+
+def trial_holder_buffering(params: Dict[str, object], seed: int) -> Dict[str, float]:
+    """Runner trial: one Figure 6 run — mean holder buffering + violations."""
+    result = run_initial_holders(
+        int(params["n"]), int(params["k"]), seed=seed,
+        idle_threshold=float(params["idle_threshold"]), rtt=float(params["rtt"]),
+    )
+    return {
+        "mean_buffering_ms": mean(result.holder_buffering_durations()),
+        "violations": result.simulation.violation_count(),
+    }
 
 
 def run_fig6(
@@ -39,20 +51,16 @@ def run_fig6(
         x_label="#holders k",
         xs=list(ks),
     )
+    grid = [
+        {"n": n, "k": k, "idle_threshold": idle_threshold, "rtt": rtt} for k in ks
+    ]
+    per_point = run_sweep("fig6", trial_holder_buffering, grid, seeds)
     means, sds, violations = [], [], []
-    for k in ks:
-        per_seed = []
-        violation_total = 0
-        for seed in seed_list(seeds):
-            result = run_initial_holders(
-                n, k, seed=seed, idle_threshold=idle_threshold, rtt=rtt
-            )
-            durations = result.holder_buffering_durations()
-            per_seed.append(mean(durations))
-            violation_total += result.simulation.violation_count()
+    for runs in per_point:
+        per_seed = [run["mean_buffering_ms"] for run in runs]
         means.append(mean(per_seed))
         sds.append(stdev(per_seed))
-        violations.append(violation_total)
+        violations.append(sum(run["violations"] for run in runs))
     table.add_series("avg buffering time (ms)", means)
     table.add_series("stdev over seeds", sds)
     table.add_series("reliability violations", violations)

@@ -13,20 +13,17 @@ count) and emit them on the paper's 5 ms-ish sampling grid.
 
 from __future__ import annotations
 
+from typing import Dict, List
+
+from repro.experiments.base import run_sweep
 from repro.metrics.report import SeriesTable
 from repro.metrics.timeseries import StepSeries
 from repro.workloads.scenarios import run_initial_holders
 
 
-def run_fig7(
-    n: int = 100,
-    k: int = 1,
-    seed: int = 0,
-    sample_dt: float = 5.0,
-    horizon: float = 160.0,
-) -> SeriesTable:
-    """Regenerate Figure 7: the two curves for one representative run."""
-    result = run_initial_holders(n, k, seed=seed)
+def trial_coverage_curves(params: Dict[str, object], seed: int) -> Dict[str, List[float]]:
+    """Runner trial: one run's #received / #buffered step curves, sampled."""
+    result = run_initial_holders(int(params["n"]), int(params["k"]), seed=seed)
     trace = result.simulation.trace
     received = StepSeries()
     buffered = StepSeries()
@@ -46,11 +43,28 @@ def run_fig7(
     received_samples = []
     buffered_samples = []
     t = 0.0
-    while t <= horizon + 1e-9:
+    while t <= float(params["horizon"]) + 1e-9:
         xs.append(t)
         received_samples.append(received.value_at(t))
         buffered_samples.append(buffered.value_at(t))
-        t += sample_dt
+        t += float(params["sample_dt"])
+    return {"xs": xs, "received": received_samples, "buffered": buffered_samples}
+
+
+def run_fig7(
+    n: int = 100,
+    k: int = 1,
+    seed: int = 0,
+    sample_dt: float = 5.0,
+    horizon: float = 160.0,
+) -> SeriesTable:
+    """Regenerate Figure 7: the two curves for one representative run."""
+    grid = [{"n": n, "k": k, "sample_dt": sample_dt, "horizon": horizon}]
+    (per_seed,) = run_sweep("fig7", trial_coverage_curves, grid, [seed])
+    curves = per_seed[0]
+    xs = curves["xs"]
+    received_samples = curves["received"]
+    buffered_samples = curves["buffered"]
     table = SeriesTable(
         title=(
             f"Figure 7 — members received vs members buffering; "

@@ -11,13 +11,22 @@ request arrives at a bufferer."
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.epidemic import search_time_estimate
-from repro.experiments.base import seed_list
+from repro.experiments.base import run_sweep
 from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean
 from repro.workloads.scenarios import run_search
+
+
+def trial_search(params: Dict[str, object], seed: int) -> Dict[str, float]:
+    """Runner trial: one §4 bufferer search (shared by Figures 8 and 9)."""
+    n, b = int(params["n"]), int(params["b"])
+    result = run_search(n, b, seed=seed)
+    if result.search_time is None:
+        raise RuntimeError(f"search unserved for n={n}, b={b}, seed={seed}")
+    return {"time": result.search_time, "forwards": result.search_forwards}
 
 
 def run_fig8(
@@ -31,20 +40,14 @@ def run_fig8(
         x_label="#bufferers",
         xs=list(bs),
     )
+    per_point = run_sweep(
+        "fig8", trial_search, [{"n": n, "b": b} for b in bs], seeds
+    )
     mean_times, direct_hits, mean_forwards = [], [], []
-    for b in bs:
-        times, hits, forwards = [], 0, []
-        for seed in seed_list(seeds):
-            result = run_search(n, b, seed=seed)
-            if result.search_time is None:
-                raise RuntimeError(f"search unserved for b={b}, seed={seed}")
-            times.append(result.search_time)
-            forwards.append(result.search_forwards)
-            if result.search_time == 0.0:
-                hits += 1
-        mean_times.append(mean(times))
-        direct_hits.append(hits)
-        mean_forwards.append(mean(forwards))
+    for runs in per_point:
+        mean_times.append(mean([run["time"] for run in runs]))
+        direct_hits.append(sum(1 for run in runs if run["time"] == 0.0))
+        mean_forwards.append(mean([run["forwards"] for run in runs]))
     table.add_series("mean search time (ms)", mean_times)
     table.add_series("model estimate (ms)",
                      [search_time_estimate(n, b) for b in bs])

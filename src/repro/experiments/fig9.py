@@ -12,10 +12,10 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.analysis.epidemic import search_time_estimate
-from repro.experiments.base import seed_list
+from repro.experiments.base import run_sweep
+from repro.experiments.fig8 import trial_search
 from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean
-from repro.workloads.scenarios import run_search
 
 
 def run_fig9(
@@ -32,15 +32,10 @@ def run_fig9(
         x_label="region size",
         xs=list(ns),
     )
-    mean_times = []
-    for n in ns:
-        times = []
-        for seed in seed_list(seeds):
-            result = run_search(n, bufferers, seed=seed)
-            if result.search_time is None:
-                raise RuntimeError(f"search unserved for n={n}, seed={seed}")
-            times.append(result.search_time)
-        mean_times.append(mean(times))
+    per_point = run_sweep(
+        "fig9", trial_search, [{"n": n, "b": bufferers} for n in ns], seeds
+    )
+    mean_times = [mean([run["time"] for run in runs]) for runs in per_point]
     table.add_series("mean search time (ms)", mean_times)
     table.add_series("model estimate (ms)",
                      [search_time_estimate(n, bufferers) for n in ns])

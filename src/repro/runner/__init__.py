@@ -1,0 +1,45 @@
+"""Declarative sweep runner (parallel trial execution + result cache).
+
+Experiments describe their work as :class:`TrialSpec` /
+:class:`SweepSpec` values — picklable ``(experiment id, params, seed)``
+units — and submit them to the ambient :class:`Runner`, which executes
+them on a pluggable backend (:class:`SerialBackend` or
+:class:`ProcessPoolBackend`) through an on-disk :class:`ResultCache`.
+Reduction happens in spec order, so ``--jobs N`` is byte-identical to
+serial execution at equal seeds.
+"""
+
+from repro.runner.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    TrialOutcome,
+    execute_trial,
+)
+from repro.runner.cache import CACHE_DIR_ENV, ResultCache, default_cache_dir
+from repro.runner.runner import Runner, RunnerStats, current_runner, using_runner
+from repro.runner.spec import (
+    CACHE_SCHEMA_VERSION,
+    SweepSpec,
+    TrialSpec,
+    canonical_params,
+    trial_name,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA_VERSION",
+    "ProcessPoolBackend",
+    "ResultCache",
+    "Runner",
+    "RunnerStats",
+    "SerialBackend",
+    "SweepSpec",
+    "TrialOutcome",
+    "TrialSpec",
+    "canonical_params",
+    "current_runner",
+    "default_cache_dir",
+    "execute_trial",
+    "trial_name",
+    "using_runner",
+]

@@ -1,0 +1,98 @@
+"""On-disk result cache for trial executions.
+
+One JSON file per trial, under ``<root>/<experiment_id>/<key>.json``.
+Entries carry the full key fields alongside the result so a cache
+directory is self-describing (and greppable).  Writes are atomic
+(tempfile + rename) so concurrent worker processes and concurrent CLI
+invocations never observe half-written entries; any unreadable entry is
+treated as a miss.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.runner.spec import CACHE_SCHEMA_VERSION, TrialSpec, trial_name
+
+#: Environment override for the default cache location.
+CACHE_DIR_ENV = "RRMP_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$RRMP_CACHE_DIR`` or ``~/.cache/rrmp-experiments``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "rrmp-experiments"
+
+
+def _safe_segment(text: str) -> str:
+    """A filesystem-safe directory name for an experiment id."""
+    return re.sub(r"[^A-Za-z0-9._-]", "_", text) or "_"
+
+
+class ResultCache:
+    """Maps :class:`TrialSpec` keys to stored trial results."""
+
+    def __init__(self, root: "Path | str | None" = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, spec: TrialSpec) -> Path:
+        """Where *spec*'s entry lives (whether or not it exists)."""
+        return self.root / _safe_segment(spec.experiment_id) / f"{spec.cache_key()}.json"
+
+    def get(self, spec: TrialSpec) -> Optional[dict]:
+        """The stored entry for *spec*, or ``None`` on miss/corruption."""
+        path = self.path_for(spec)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        if "result" not in entry:
+            return None
+        return entry
+
+    def put(self, spec: TrialSpec, result: Any, events_fired: int = 0,
+            elapsed_s: float = 0.0) -> Path:
+        """Store *result* for *spec* atomically; returns the entry path."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "experiment_id": spec.experiment_id,
+            "trial": trial_name(spec.trial),
+            "params": spec.params,
+            "seed": spec.seed,
+            "result": result,
+            "events_fired": events_fired,
+            "elapsed_s": elapsed_s,
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=str(path.parent),
+            prefix=".tmp-", suffix=".json", delete=False,
+        )
+        try:
+            with handle:
+                json.dump(entry, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entry_count(self) -> int:
+        """Number of entries currently on disk (diagnostics)."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -7,7 +7,7 @@ streams (:class:`RandomStreams`) and a structured trace log
 (:class:`TraceLog`).
 """
 
-from repro.sim.engine import SimulationError, Simulator
+from repro.sim.engine import SimulationError, Simulator, total_events_fired
 from repro.sim.events import Event, EventQueue
 from repro.sim.randomness import RandomStreams, derive_seed
 from repro.sim.timers import PeriodicTask, Timer, call_repeatedly
@@ -26,4 +26,5 @@ __all__ = [
     "TraceRecord",
     "call_repeatedly",
     "derive_seed",
+    "total_events_fired",
 ]

@@ -21,6 +21,18 @@ class SimulationError(RuntimeError):
     """Raised on invalid use of the engine (e.g. scheduling in the past)."""
 
 
+#: Process-wide count of events fired across every Simulator instance.
+#: The sweep runner and the benchmark harness read deltas of this to
+#: attribute simulation work to individual trials, including trials
+#: executed in worker processes.
+_total_events_fired = 0
+
+
+def total_events_fired() -> int:
+    """Events fired in this process, across all simulators ever created."""
+    return _total_events_fired
+
+
 class Simulator:
     """A single-threaded discrete-event simulator.
 
@@ -98,8 +110,10 @@ class Simulator:
         event = self._queue.pop()
         if event is None:
             return False
+        global _total_events_fired
         self._now = event.time
         self._events_fired += 1
+        _total_events_fired += 1
         event._fire()
         return True
 

@@ -2,9 +2,16 @@
 
 import pytest
 
-from repro.experiments.cli import QUICK_PARAMS, build_parser, main, parse_param
+from repro.experiments.cli import (
+    QUICK_PARAMS,
+    build_parser,
+    main,
+    parse_param,
+    runner_from_args,
+)
 from repro.experiments.registry import EXPERIMENTS, experiment_ids, run_experiment
 from repro.metrics.report import SeriesTable
+from repro.runner import ProcessPoolBackend, SerialBackend
 
 
 class TestRegistry:
@@ -61,3 +68,45 @@ class TestCli:
     def test_run_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "not-a-figure"])
+
+
+class TestRunnerFlags:
+    def test_quick_table_shared_between_cli_and_quick_module(self):
+        from repro.experiments.quick import QUICK_PARAMS as table
+        assert QUICK_PARAMS is table
+
+    def test_run_supports_quick(self, capsys):
+        assert main(["run", "fig4", "--quick", "--no-cache",
+                     "--param", "trials=200"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 4" in captured.out
+        assert "runner:" in captured.err  # accounting goes to stderr
+
+    def test_runner_from_args_builds_requested_backend(self):
+        parser = build_parser()
+        serial = runner_from_args(parser.parse_args(["run", "fig4", "--no-cache"]))
+        assert isinstance(serial.backend, SerialBackend)
+        assert serial.cache is None
+        parallel = runner_from_args(
+            parser.parse_args(["run", "fig4", "--jobs", "3"])
+        )
+        assert isinstance(parallel.backend, ProcessPoolBackend)
+        assert parallel.backend.jobs == 3
+        assert parallel.cache is not None
+
+    def test_nonpositive_jobs_rejected(self, capsys):
+        for bad in ("0", "-2", "two"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["run", "fig4", "--jobs", bad])
+        capsys.readouterr()  # swallow argparse usage output
+
+    def test_cache_dir_round_trip_hits_cache(self, tmp_path, capsys):
+        argv = ["run", "fig4", "--param", "trials=150",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "cached=0" in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "executed=0" in warm.err
+        assert warm.out == cold.out  # byte-identical table from cache
