@@ -1,7 +1,15 @@
-"""Ablation bench: per-member costs as the region grows (abstract claim)."""
+"""Ablation bench: per-member costs as the region grows (abstract claim).
+
+Also exercises the north-star `scale` stress scenario — 1,000 members
+across 10 regions under a lossy stream — so engine-level optimizations
+are measured at the scale the ROADMAP targets, not only on the paper's
+100-member workloads.
+"""
 
 from benchmarks.conftest import run_once
 from repro.experiments.ablation_scaling import run_scaling
+from repro.metrics.report import SeriesTable
+from repro.workloads.scenarios import run_scale
 
 
 def test_ablation_scaling(benchmark, show):
@@ -18,3 +26,34 @@ def test_ablation_scaling(benchmark, show):
     assert max(requests) < 3.0 * min(requests)
     # Long-term copies stay ~C instead of growing with n.
     assert all(2.0 < value < 11.0 for value in copies)
+
+
+def run_scale_stress(regions: int = 10, members_per_region: int = 100,
+                     messages: int = 20, loss_rate: float = 0.05,
+                     seed: int = 0) -> SeriesTable:
+    """One 1,000-member lossy stream run, reported as a SeriesTable."""
+    result = run_scale(regions=regions, members_per_region=members_per_region,
+                       messages=messages, loss_rate=loss_rate, seed=seed)
+    table = SeriesTable(
+        title=(
+            f"Scale stress — {regions}x{members_per_region} members, "
+            f"{messages} msgs @ {loss_rate:.0%} loss"
+        ),
+        x_label="run",
+        xs=[1],
+    )
+    table.add_series("members", [float(result.member_count)])
+    table.add_series("delivered fraction", [result.delivered_fraction()])
+    table.add_series("reliability violations", [float(result.violations)])
+    table.add_series("events fired", [float(result.events_fired)])
+    table.add_series("control messages", [float(result.control_messages)])
+    return table
+
+
+def test_scale_stress(benchmark, show):
+    table = run_once(benchmark, run_scale_stress, bench_id="scale")
+    show(table)
+    assert table.series["members"] == [1000.0]
+    # Recovery must fully repair the 5% multicast loss at 10x paper scale.
+    assert table.series["delivered fraction"] == [1.0]
+    assert table.series["reliability violations"] == [0.0]

@@ -1,0 +1,156 @@
+"""Compare fresh ``BENCH_<id>.json`` output against committed baselines.
+
+The benchmark harness (``benchmarks/conftest.py``) writes one JSON
+artifact per benchmark with the run's wall clock, the engine events it
+fired and the resulting table.  This script turns those artifacts into
+a regression gate:
+
+* ``events_fired`` must match the baseline **exactly** — the simulator
+  is deterministic, so any drift means behaviour changed (or work was
+  silently added to / removed from the hot path);
+* ``wall_s`` must stay within a relative tolerance (default ±30%) of
+  the baseline, so a hot-path regression fails CI even when behaviour
+  is unchanged.  Walls under ``--wall-floor`` seconds are exempt —
+  relative noise on a near-zero wall is meaningless.
+
+Usage::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_engine.py ...   # produce fresh results
+    python benchmarks/check_regression.py                   # gate against baselines
+    python benchmarks/check_regression.py engine scale      # only these ids
+    python benchmarks/check_regression.py --update          # re-bless baselines
+
+Refreshing baselines: run the benchmarks on the reference machine, eyeball
+the new numbers, then ``--update`` and commit ``benchmarks/baselines/``.
+CI runs with ``--events-only`` — shared-runner hardware does not match
+the machine that blessed the baselines, so the wall check is a local /
+reference-machine check while the events check gates everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+BENCH_PREFIX = "BENCH_"
+DEFAULT_WALL_TOLERANCE = 0.30
+DEFAULT_WALL_FLOOR = 0.50
+
+
+def _load(path: Path) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _bench_id(path: Path) -> str:
+    return path.stem[len(BENCH_PREFIX):]
+
+
+def compare_one(baseline: dict, fresh: dict, wall_tolerance: float,
+                wall_floor: float) -> List[str]:
+    """Problems found comparing one fresh result to its baseline."""
+    problems: List[str] = []
+    base_events = baseline.get("events_fired")
+    fresh_events = fresh.get("events_fired")
+    if base_events != fresh_events:
+        problems.append(
+            f"events_fired changed: baseline {base_events} != fresh {fresh_events} "
+            "(simulation behaviour or hot-path work drifted)"
+        )
+    base_wall = float(baseline.get("wall_s", 0.0))
+    fresh_wall = float(fresh.get("wall_s", 0.0))
+    if base_wall >= wall_floor:
+        drift = (fresh_wall - base_wall) / base_wall
+        if abs(drift) > wall_tolerance:
+            problems.append(
+                f"wall clock drifted {drift:+.0%} (baseline {base_wall:.3f}s, "
+                f"fresh {fresh_wall:.3f}s, tolerance ±{wall_tolerance:.0%})"
+            )
+    return problems
+
+
+def check(baseline_dir: Path, results_dir: Path, only: Optional[List[str]],
+          wall_tolerance: float, wall_floor: float, update: bool) -> int:
+    baselines = sorted(baseline_dir.glob(f"{BENCH_PREFIX}*.json"))
+    if only:
+        baselines = [p for p in baselines if _bench_id(p) in set(only)]
+        known = {_bench_id(p) for p in baselines}
+        missing_ids = [bench_id for bench_id in only if bench_id not in known]
+        if missing_ids and not update:
+            print(f"no baseline for ids: {', '.join(missing_ids)}", file=sys.stderr)
+            return 2
+
+    if update:
+        baseline_dir.mkdir(parents=True, exist_ok=True)
+        sources = sorted(results_dir.glob(f"{BENCH_PREFIX}*.json"))
+        if only:
+            sources = [p for p in sources if _bench_id(p) in set(only)]
+        if not sources:
+            print(f"--update found no {BENCH_PREFIX}*.json under {results_dir}",
+                  file=sys.stderr)
+            return 2
+        for source in sources:
+            shutil.copy2(source, baseline_dir / source.name)
+            print(f"blessed {source.name}")
+        return 0
+
+    if not baselines:
+        print(f"no baselines under {baseline_dir}; run with --update first",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    for baseline_path in baselines:
+        bench_id = _bench_id(baseline_path)
+        fresh_path = results_dir / baseline_path.name
+        if not fresh_path.exists():
+            print(f"FAIL {bench_id}: no fresh result at {fresh_path} "
+                  "(did the benchmark run?)")
+            failures += 1
+            continue
+        problems = compare_one(_load(baseline_path), _load(fresh_path),
+                               wall_tolerance, wall_floor)
+        if problems:
+            failures += 1
+            for problem in problems:
+                print(f"FAIL {bench_id}: {problem}")
+        else:
+            print(f"ok   {bench_id}")
+    if failures:
+        print(f"\n{failures} benchmark(s) regressed; if intentional, re-bless with "
+              f"`python benchmarks/check_regression.py --update` and commit "
+              f"{baseline_dir}/", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    here = Path(__file__).resolve().parent
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("ids", nargs="*",
+                        help="bench ids to check (default: every committed baseline)")
+    parser.add_argument("--baseline-dir", type=Path, default=here / "baselines")
+    parser.add_argument("--results-dir", type=Path, default=here / "results")
+    parser.add_argument("--wall-tolerance", type=float, default=DEFAULT_WALL_TOLERANCE,
+                        help="relative wall-clock tolerance (default %(default)s)")
+    parser.add_argument("--wall-floor", type=float, default=DEFAULT_WALL_FLOOR,
+                        help="skip the wall check when the baseline wall is below "
+                             "this many seconds (default %(default)s)")
+    parser.add_argument("--events-only", action="store_true",
+                        help="skip the wall-clock check entirely; compare only "
+                             "events_fired.  For CI, where runner hardware does "
+                             "not match the machine that blessed the baselines.")
+    parser.add_argument("--update", action="store_true",
+                        help="bless fresh results as the new baselines")
+    args = parser.parse_args(argv)
+    wall_floor = float("inf") if args.events_only else args.wall_floor
+    return check(args.baseline_dir, args.results_dir, args.ids or None,
+                 args.wall_tolerance, wall_floor, args.update)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

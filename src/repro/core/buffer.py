@@ -10,15 +10,20 @@ what the Figure 6 experiment aggregates into "average buffering time".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.protocol.messages import DataMessage, Seq
 
 
 @dataclass
 class BufferEntry:
-    """Live state of one buffered message at one member."""
+    """Live state of one buffered message at one member.
+
+    ``long_term`` is read-only outside :class:`MessageBuffer`: flipping
+    it directly would desynchronize the buffer's long-term index — use
+    :meth:`MessageBuffer.promote` / :meth:`MessageBuffer.demote`.
+    """
 
     seq: Seq
     data: DataMessage
@@ -28,6 +33,9 @@ class BufferEntry:
     #: Time of the most recent event that counts as a "use" (receipt,
     #: request, or serving a repair); drives the long-term TTL.
     last_use_time: float = 0.0
+    #: Monotonic admission rank assigned by :meth:`MessageBuffer.add`;
+    #: orders :meth:`MessageBuffer.long_term_seqs` by insertion.
+    order: int = 0
 
     def __post_init__(self) -> None:
         if self.last_use_time == 0.0:
@@ -69,6 +77,10 @@ class MessageBuffer:
     def __init__(self) -> None:
         self._entries: Dict[Seq, BufferEntry] = {}
         self.records: List[BufferRecord] = []
+        #: Lazily-maintained index of long-term seqs, so policy
+        #: decisions and handoff planning never scan every entry.
+        self._long_term: Set[Seq] = set()
+        self._next_order = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -102,8 +114,23 @@ class MessageBuffer:
         return tuple(self._entries.values())
 
     def long_term_seqs(self) -> Iterable[Seq]:
-        """Sequence numbers of entries promoted to long-term."""
-        return tuple(seq for seq, entry in self._entries.items() if entry.long_term)
+        """Sequence numbers of entries promoted to long-term.
+
+        Ordered by buffer insertion (matching :meth:`seqs`); costs
+        O(k log k) in the number of *long-term* entries, not O(n) in
+        the buffer size.
+        """
+        entries = self._entries
+        return tuple(sorted(self._long_term, key=lambda seq: entries[seq].order))
+
+    def is_long_term(self, seq: Seq) -> bool:
+        """Whether *seq* is buffered long-term.  O(1)."""
+        return seq in self._long_term
+
+    @property
+    def long_term_count(self) -> int:
+        """Number of long-term entries.  O(1)."""
+        return len(self._long_term)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -113,8 +140,33 @@ class MessageBuffer:
         existing = self._entries.get(data.seq)
         if existing is not None:
             return existing
-        entry = BufferEntry(seq=data.seq, data=data, receive_time=now, long_term=long_term)
+        self._next_order += 1
+        entry = BufferEntry(seq=data.seq, data=data, receive_time=now,
+                            long_term=long_term, order=self._next_order)
         self._entries[data.seq] = entry
+        if long_term:
+            self._long_term.add(data.seq)
+        return entry
+
+    def promote(self, seq: Seq) -> Optional[BufferEntry]:
+        """Mark *seq* long-term, keeping the index in sync.  O(1).
+
+        Returns the entry, or ``None`` if *seq* is not buffered.
+        """
+        entry = self._entries.get(seq)
+        if entry is None:
+            return None
+        entry.long_term = True
+        self._long_term.add(seq)
+        return entry
+
+    def demote(self, seq: Seq) -> Optional[BufferEntry]:
+        """Clear the long-term mark on *seq*.  O(1)."""
+        entry = self._entries.get(seq)
+        if entry is None:
+            return None
+        entry.long_term = False
+        self._long_term.discard(seq)
         return entry
 
     def discard(self, seq: Seq, now: float, reason: str) -> Optional[BufferEntry]:
@@ -125,6 +177,7 @@ class MessageBuffer:
         entry = self._entries.pop(seq, None)
         if entry is None:
             return None
+        self._long_term.discard(seq)
         self.records.append(
             BufferRecord(
                 seq=seq,

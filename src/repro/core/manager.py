@@ -151,7 +151,7 @@ class TwoPhaseBufferPolicy(BufferPolicy):
             # Already buffered: promote, since the leaver's long-term
             # responsibility transfers to us.
             self.short_term.untrack(data.seq)
-        entry.long_term = True
+        self.buffer.promote(data.seq)
         entry.last_use_time = now
         self.long_term.arm_ttl(data.seq)
         self.host.trace.emit(
@@ -168,7 +168,7 @@ class TwoPhaseBufferPolicy(BufferPolicy):
             return
         self.host.trace.emit(now, "buffer_idle", node=self.host.node_id, seq=seq)
         if self.long_term.decide(self.host.region_size()):
-            entry.long_term = True
+            self.buffer.promote(seq)
             entry.last_use_time = now
             self.long_term.arm_ttl(seq)
             self.host.trace.emit(now, "long_term_selected", node=self.host.node_id,

@@ -27,7 +27,7 @@ error, not a runtime condition to paper over.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.fec.codec import make_codec
 from repro.net.topology import NodeId

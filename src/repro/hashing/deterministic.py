@@ -22,7 +22,7 @@ must agree without communicating).
 from __future__ import annotations
 
 import hashlib
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.policies import BufferPolicy
 from repro.net.topology import NodeId

@@ -89,8 +89,6 @@ def random_churn(
     are drawn lazily at event time from the then-alive membership, so
     generated events compose correctly with each other.
     """
-    events: List[ChurnEvent] = []
-
     def times(rate: float) -> List[float]:
         result, t = [], 0.0
         if rate <= 0:

@@ -15,7 +15,7 @@ each receiver observes its own delay and loss outcome.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Optional, Protocol
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Tuple
 
 from repro.net.latency import LatencyModel
 from repro.net.loss import LossModel, NoLoss
@@ -143,14 +143,44 @@ class Network:
         if new_message is not None:
             new_message()
         scheduled = 0
+        # Same-tick batching: consecutive deliveries of one fan-out that
+        # share a deliver_time (the common case under constant-latency
+        # models) ride a single engine event instead of one heap entry
+        # per receiver.  Only *adjacent* equal times are merged, so the
+        # relative delivery order is exactly what per-packet events
+        # would have produced.
+        batch: List[Packet] = []
+        batch_time = 0.0
         for dst in dsts:
             if dst == src and not include_sender:
                 continue
-            if self._send(src, dst, payload, group=group) is not None:
-                scheduled += 1
+            packet = self._send(src, dst, payload, group=group, schedule=False)
+            if packet is None:
+                continue
+            scheduled += 1
+            if batch and packet.deliver_time != batch_time:
+                self._schedule_delivery(batch)
+                batch = []
+            batch.append(packet)
+            batch_time = packet.deliver_time
+        if batch:
+            self._schedule_delivery(batch)
         return scheduled
 
-    def _send(self, src: NodeId, dst: NodeId, payload: Any, group: Optional[str]) -> Optional[Packet]:
+    def _schedule_delivery(self, packets: List[Packet]) -> None:
+        """Schedule one engine event for a run of same-time packets."""
+        if len(packets) == 1:
+            packet = packets[0]
+            self.sim.at(packet.deliver_time, self._deliver, packet)
+        else:
+            self.sim.at(packets[0].deliver_time, self._deliver_batch, tuple(packets))
+
+    def _deliver_batch(self, packets: Tuple[Packet, ...]) -> None:
+        for packet in packets:
+            self._deliver(packet)
+
+    def _send(self, src: NodeId, dst: NodeId, payload: Any, group: Optional[str],
+              schedule: bool = True) -> Optional[Packet]:
         kind = payload_kind(payload)
         size = payload_size(payload)
         type_name = payload_type_name(payload)
@@ -174,7 +204,8 @@ class Network:
             deliver_time=now + delay,
             multicast_group=group,
         )
-        self.sim.at(packet.deliver_time, self._deliver, packet)
+        if schedule:
+            self.sim.at(packet.deliver_time, self._deliver, packet)
         return packet
 
     def _deliver(self, packet: Packet) -> None:

@@ -13,7 +13,7 @@ number]`` identifier from the paper's footnote degenerates to ``seq``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple
+from typing import Any, Tuple
 
 from repro.net.packet import KIND_CONTROL, KIND_DATA
 from repro.net.topology import NodeId

@@ -24,7 +24,7 @@ reliability violation (the §5 trade-off).
 from __future__ import annotations
 
 import random
-from typing import Optional, Protocol, Sequence
+from typing import Protocol, Sequence
 
 from repro.protocol.config import RrmpConfig
 from repro.protocol.messages import LocalRequest, RemoteRequest, Seq

@@ -15,7 +15,7 @@ swaps for a parallel, cached runner via :func:`using_runner`.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.runner.backends import ProcessPoolBackend, SerialBackend, TrialOutcome

@@ -12,6 +12,7 @@ threshold).
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Optional
 
 from repro.sim.events import Event, EventQueue
@@ -98,6 +99,34 @@ class Simulator:
             raise SimulationError(f"negative delay {delay!r}")
         return self.at(self._now + delay, callback, *args)
 
+    def reserve_seq(self) -> int:
+        """Consume and return the next event sequence number.
+
+        Determinism-preserving support for :class:`repro.sim.Timer`'s
+        in-place re-arm: a push-back burns a sequence number exactly as
+        the cancel-and-reschedule it replaces would have, so same-time
+        tie-breaking of every subsequent event is unchanged, and the
+        timer's eventual catch-up event (:meth:`at_reserved`) fires in
+        precisely the order the rescheduled event would have.
+        """
+        self._seq += 1
+        return self._seq
+
+    def at_reserved(self, time: float, seq: int, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule *callback* at *time* with a previously reserved seq.
+
+        *seq* must come from :meth:`reserve_seq` and be used at most
+        once; reusing a live event's seq would break the total order.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time:.6f}, which is before now={self._now:.6f}"
+            )
+        event = Event(time, seq, callback, args)
+        self._queue.push(event)
+        return event
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -123,24 +152,47 @@ class Simulator:
         When *until* is given, time is advanced to exactly *until* even
         if the queue drains earlier, so occupancy probes and time-series
         samples line up across runs.  Returns the final simulated time.
+
+        The loop is the simulator's hottest code: it peeks, pops and
+        fires against the raw heap directly instead of going through
+        :meth:`EventQueue.peek_time` + :meth:`step`, which would walk
+        the heap head twice per event.
         """
         if self._running:
             raise SimulationError("Simulator.run() is not re-entrant")
         self._running = True
+        queue = self._queue
+        # EventQueue.compact() rebuilds this list in place, so the alias
+        # stays valid even if a callback's push triggers compaction.
+        heap = queue._heap
+        heappop = heapq.heappop
         fired = 0
         try:
-            while True:
+            while heap:
+                event = heap[0]
+                if event._cancelled:
+                    heappop(heap)
+                    queue._dead -= 1
+                    continue
                 if max_events is not None and fired >= max_events:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                event_time = event.time
+                if until is not None and event_time > until:
                     break
-                if until is not None and next_time > until:
-                    break
-                self.step()
+                heappop(heap)
+                event._queue = None
+                self._now = event_time
                 fired += 1
+                self._events_fired += 1
+                callback, args = event.callback, event.args
+                event.callback = None
+                event.args = ()
+                if callback is not None:
+                    callback(*args)
         finally:
             self._running = False
+            global _total_events_fired
+            _total_events_fired += fired
         if until is not None and self._now < until:
             self._now = until
         return self._now
@@ -153,9 +205,16 @@ class Simulator:
         """Run until no live events remain.
 
         *max_events* bounds runaway simulations (e.g. a protocol bug that
-        reschedules forever); exceeding it raises :class:`SimulationError`.
+        reschedules forever); exceeding it raises :class:`SimulationError`
+        whose message names the remaining live events and the next
+        pending deadline, so the runaway source is identifiable.
         """
         end = self.run(max_events=max_events)
-        if self._queue.peek_time() is not None:
-            raise SimulationError(f"drain() exceeded max_events={max_events}")
+        next_time = self._queue.peek_time()
+        if next_time is not None:
+            raise SimulationError(
+                f"drain() exceeded max_events={max_events}: "
+                f"{self._queue.live_count()} live events still queued, "
+                f"next pending at t={next_time:.6f} (now={self._now:.6f})"
+            )
         return end

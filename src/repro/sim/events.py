@@ -9,12 +9,23 @@ Cancellation is *lazy*: cancelling an event marks it dead but leaves it
 in the heap; the engine discards dead events when it pops them.  This
 makes :meth:`Event.cancel` O(1), which matters because protocol timers
 are cancelled far more often than they fire.
+
+To keep a timer-churn-heavy run from dragging a heap full of corpses,
+:class:`EventQueue` counts its dead entries and compacts the heap in one
+O(n) ``heapify`` pass when they outnumber the live ones
+(:data:`COMPACT_MIN_DEAD` guards tiny queues).  Compaction never changes
+pop order — the ``(time, seq)`` total order is unaffected — so runs stay
+bit-for-bit reproducible.
 """
 
 from __future__ import annotations
 
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
+
+#: Compaction is considered only once this many dead entries have
+#: accumulated; below it the heap is too small for the scan to matter.
+COMPACT_MIN_DEAD = 64
 
 
 class Event:
@@ -25,7 +36,7 @@ class Event:
     reference in order to :meth:`cancel` it.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "_cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "_cancelled", "_queue")
 
     def __init__(
         self,
@@ -39,6 +50,7 @@ class Event:
         self.callback: Optional[Callable[..., None]] = callback
         self.args = args
         self._cancelled = False
+        self._queue: Optional["EventQueue"] = None
 
     @property
     def cancelled(self) -> bool:
@@ -55,11 +67,16 @@ class Event:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent and O(1)."""
+        if self._cancelled:
+            return
         self._cancelled = True
         # Drop references eagerly so cancelled timers do not pin protocol
         # state (members, buffers) in memory until the heap drains.
         self.callback = None
         self.args = ()
+        queue = self._queue
+        if queue is not None:
+            queue._dead += 1
 
     def _fire(self) -> None:
         """Invoke the callback exactly once.  Engine-internal."""
@@ -70,7 +87,11 @@ class Event:
             callback(*args)
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Hot path: called O(log n) times per heap operation.  Chained
+        # comparisons avoid building a (time, seq) tuple per call.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self._cancelled else ("pending" if self.pending else "fired")
@@ -82,16 +103,23 @@ class EventQueue:
 
     The queue tolerates lazily-cancelled events: :meth:`pop` and
     :meth:`peek_time` transparently skip events whose ``cancel`` method
-    has been called.
+    has been called, and bulk-compacts the heap when dead entries
+    dominate it.
     """
 
-    __slots__ = ("_heap",)
+    __slots__ = ("_heap", "_dead")
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
+        #: Cancelled events still sitting in the heap.  Maintained by
+        #: Event.cancel (increment) and the skip paths (decrement).
+        self._dead = 0
 
     def push(self, event: Event) -> None:
         """Insert *event* into the queue."""
+        event._queue = self
+        if self._dead >= COMPACT_MIN_DEAD and self._dead * 2 >= len(self._heap):
+            self.compact()
         heapq.heappush(self._heap, event)
 
     def pop(self) -> Optional[Event]:
@@ -99,28 +127,57 @@ class EventQueue:
         heap = self._heap
         while heap:
             event = heapq.heappop(heap)
-            if not event.cancelled:
+            if not event._cancelled:
+                # Detach so a later cancel() of the fired event cannot
+                # disturb this queue's dead-entry accounting.
+                event._queue = None
                 return event
+            self._dead -= 1
         return None
 
     def peek_time(self) -> Optional[float]:
         """Return the firing time of the earliest live event, if any."""
         heap = self._heap
-        while heap and heap[0].cancelled:
+        while heap and heap[0]._cancelled:
             heapq.heappop(heap)
+            self._dead -= 1
         return heap[0].time if heap else None
+
+    def compact(self) -> None:
+        """Drop every cancelled entry in one O(n) pass and re-heapify.
+
+        Pop order is unaffected: live events keep their ``(time, seq)``
+        total order.  Called automatically from :meth:`push` when dead
+        entries reach half the heap; harmless to call at any time.
+        """
+        if self._dead == 0:
+            return
+        # In-place rebuild: the engine's run loop holds an alias to the
+        # heap list, so the list object itself must survive compaction.
+        heap = self._heap
+        heap[:] = [event for event in heap if not event._cancelled]
+        heapq.heapify(heap)
+        self._dead = 0
 
     def __len__(self) -> int:
         """Number of queued entries, *including* cancelled ones."""
         return len(self._heap)
 
+    @property
+    def dead_count(self) -> int:
+        """Cancelled events still occupying heap slots (diagnostics)."""
+        return self._dead
+
     def live_count(self) -> int:
         """Number of queued events that have not been cancelled.
 
-        O(n); intended for tests and diagnostics, not hot paths.
+        O(1): the queue tracks its dead entries.
         """
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._dead
 
     def clear(self) -> None:
         """Drop every queued event."""
+        for event in self._heap:
+            event._queue = None
         self._heap.clear()
+        self._dead = 0

@@ -18,18 +18,34 @@ from repro.sim.events import Event
 class Timer:
     """A one-shot timer that can be (re)started and cancelled.
 
-    Restarting an armed timer cancels the previous deadline, which is
+    Restarting an armed timer replaces the previous deadline, which is
     exactly the semantics of the paper's *idle threshold*: each
     retransmission request pushes the discard deadline back to
     ``now + T``.
+
+    Re-arming to a **later** deadline — the overwhelmingly common case,
+    since every push-back moves the deadline forward — is done *in
+    place*: the timer records the new deadline (and reserves the event
+    sequence number a reschedule would have consumed, keeping same-time
+    tie-breaking bit-identical) and leaves its scheduled event where it
+    is.  When the stale event fires early, the timer notices the
+    pushed-back deadline and schedules one catch-up event at the true
+    deadline under the reserved seq.  A burst of *k* refreshes
+    therefore costs *k* field writes plus at most one extra heap
+    operation, instead of *k* cancelled :class:`Event` allocations
+    sitting in the engine's heap.  Re-arming to an equal-or-earlier
+    deadline falls back to cancel + reschedule (the heaped event would
+    fire too late, or in the wrong same-time order, otherwise).
     """
 
-    __slots__ = ("_sim", "_callback", "_event")
+    __slots__ = ("_sim", "_callback", "_event", "_deadline", "_reserved_seq")
 
     def __init__(self, sim: Simulator, callback: Callable[[], None]) -> None:
         self._sim = sim
         self._callback = callback
         self._event: Optional[Event] = None
+        self._deadline = 0.0
+        self._reserved_seq = 0
 
     @property
     def armed(self) -> bool:
@@ -40,14 +56,26 @@ class Timer:
     def deadline(self) -> Optional[float]:
         """Absolute firing time if armed, else ``None``."""
         if self.armed:
-            assert self._event is not None
-            return self._event.time
+            return self._deadline
         return None
 
     def start(self, delay: float) -> None:
         """Arm (or re-arm) the timer to fire *delay* ms from now."""
-        self.cancel()
-        self._event = self._sim.after(delay, self._fire)
+        sim = self._sim
+        deadline = sim.now + delay
+        event = self._event
+        if event is not None and event.pending:
+            if deadline > event.time:
+                # Push-back: keep the scheduled event, just move the
+                # logical deadline.  _fire() re-checks before invoking.
+                self._deadline = deadline
+                self._reserved_seq = sim.reserve_seq()
+                return
+            event.cancel()
+        self._deadline = deadline
+        new_event = sim.after(delay, self._fire)
+        self._event = new_event
+        self._reserved_seq = new_event.seq
 
     def cancel(self) -> None:
         """Disarm the timer if armed.  Idempotent."""
@@ -56,6 +84,14 @@ class Timer:
             self._event = None
 
     def _fire(self) -> None:
+        deadline = self._deadline
+        if deadline > self._sim.now:
+            # The deadline was pushed back after this event was heaped:
+            # schedule the single catch-up event at the true deadline,
+            # under the seq reserved by the most recent push-back so it
+            # fires exactly where the rescheduled event would have.
+            self._event = self._sim.at_reserved(deadline, self._reserved_seq, self._fire)
+            return
         self._event = None
         self._callback()
 

@@ -245,7 +245,8 @@ class TreeSimulation:
             region = hierarchy.region_of(node)
             server = self.servers[region.region_id]
             if node == server:
-                parent = hierarchy.regions[region.parent_id] if region.parent_id is not None else None
+                parent = (hierarchy.regions[region.parent_id]
+                          if region.parent_id is not None else None)
                 target = self.servers[parent.region_id] if parent is not None else None
                 is_server = True
             else:

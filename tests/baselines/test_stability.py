@@ -1,6 +1,5 @@
 """Tests for the stability-detection baseline (ref [8])."""
 
-import pytest
 
 from repro.net.ipmulticast import BernoulliOutcome
 from repro.net.latency import ConstantLatency
@@ -127,7 +126,6 @@ class TestStabilityProtocol:
         simulation.run(duration=100.0)
         for agent in agents:
             agent.stop()
-        pending_before = simulation.sim.pending_events
         simulation.run(duration=100.0)
         # No gossip events regenerate after stop.
         digests_before = simulation.network.stats.sent_by_type.get("WatermarkDigest", 0)

@@ -1,6 +1,5 @@
 """Tests for the tree-based repair-server baseline (ref [12])."""
 
-import pytest
 
 from repro.net.ipmulticast import BernoulliOutcome, FixedHolders
 from repro.net.latency import HierarchicalLatency
@@ -87,7 +86,7 @@ class TestBufferConcentration:
         for _ in range(4):
             simulation.multicast()
         simulation.run(duration=2_000.0)
-        for node, member in simulation.members.items():
+        for member in simulation.members.values():
             if member.is_server:
                 assert member.buffered_count == 4
             else:

@@ -92,3 +92,71 @@ class TestDiscard:
         buffer.discard(2, now=100.0, reason=DISCARD_TTL)
         assert buffer.durations(reason=DISCARD_IDLE) == [pytest.approx(40.0)]
         assert sorted(buffer.durations()) == [pytest.approx(40.0), pytest.approx(100.0)]
+
+
+class TestLongTermIndex:
+    """The lazily-maintained long-term set must track every mutation."""
+
+    def _consistent(self, buffer: MessageBuffer) -> None:
+        scanned = [entry.seq for entry in buffer.entries() if entry.long_term]
+        assert sorted(buffer.long_term_seqs()) == sorted(scanned)
+        assert buffer.long_term_count == len(scanned)
+        for entry in buffer.entries():
+            assert buffer.is_long_term(entry.seq) == entry.long_term
+
+    def test_promote_and_demote(self):
+        buffer = MessageBuffer()
+        buffer.add(msg(1), now=0.0)
+        buffer.add(msg(2), now=0.0)
+        assert buffer.promote(1).long_term
+        self._consistent(buffer)
+        assert buffer.is_long_term(1)
+        assert not buffer.is_long_term(2)
+        buffer.demote(1)
+        self._consistent(buffer)
+        assert buffer.long_term_count == 0
+
+    def test_promote_missing_returns_none(self):
+        buffer = MessageBuffer()
+        assert buffer.promote(7) is None
+        assert buffer.demote(7) is None
+        assert buffer.long_term_count == 0
+
+    def test_discard_clears_index(self):
+        buffer = MessageBuffer()
+        buffer.add(msg(1), now=0.0, long_term=True)
+        buffer.discard(1, now=5.0, reason=DISCARD_TTL)
+        self._consistent(buffer)
+        assert not buffer.is_long_term(1)
+        assert buffer.long_term_count == 0
+
+    def test_long_term_seqs_ordered_by_insertion(self):
+        buffer = MessageBuffer()
+        for seq in (5, 2, 9):
+            buffer.add(msg(seq), now=0.0)
+        # Promote in a different order than insertion.
+        buffer.promote(9)
+        buffer.promote(5)
+        assert list(buffer.long_term_seqs()) == [5, 9]
+
+    def test_discard_promote_readd_round_trip(self):
+        buffer = MessageBuffer()
+        buffer.add(msg(1), now=0.0)
+        buffer.promote(1)
+        buffer.discard(1, now=10.0, reason=DISCARD_IDLE)
+        self._consistent(buffer)
+        # Re-admission starts over as short-term.
+        entry = buffer.add(msg(1), now=20.0)
+        assert not entry.long_term
+        self._consistent(buffer)
+        buffer.promote(1)
+        self._consistent(buffer)
+        assert list(buffer.long_term_seqs()) == [1]
+
+    def test_discard_all_clears_index(self):
+        buffer = MessageBuffer()
+        for seq in (1, 2, 3):
+            buffer.add(msg(seq), now=0.0, long_term=seq != 2)
+        buffer.discard_all(now=9.0)
+        self._consistent(buffer)
+        assert buffer.long_term_count == 0

@@ -248,3 +248,42 @@ class TestLifecycle:
         assert policy.occupancy == 0
         # No idle trace: the timer was cancelled, not fired.
         assert buffer_host.trace.count("buffer_idle") == 0
+
+
+class TestHandoffIndexConsistency:
+    """Index integrity across drain_for_handoff / accept_handoff trips."""
+
+    def _build(self, sim, trace, seed=99):
+        host = FakeBufferHost(sim, trace, seed=seed)
+        policy = TwoPhaseBufferPolicy(idle_threshold=40.0, long_term_c=200.0)
+        policy.bind(host)
+        return policy
+
+    def test_handoff_round_trip_keeps_index_in_sync(self, sim, trace):
+        leaver = self._build(sim, trace, seed=1)
+        receiver = self._build(sim, trace, seed=2)
+        for seq in (1, 2, 3):
+            leaver.on_receive(DataMessage(seq=seq, sender=0))
+        sim.run()  # C=200 over n=100: every idle entry promotes
+        assert leaver.buffer.long_term_count == 3
+        transferred = leaver.drain_for_handoff()
+        assert {data.seq for data in transferred} == {1, 2, 3}
+        assert leaver.buffer.long_term_count == 0
+        assert leaver.buffer.occupancy == 0
+        assert list(leaver.buffer.long_term_seqs()) == []
+        for data in transferred:
+            receiver.accept_handoff(data)
+        assert receiver.buffer.long_term_count == 3
+        assert sorted(receiver.buffer.long_term_seqs()) == [1, 2, 3]
+        for seq in (1, 2, 3):
+            assert receiver.buffer.is_long_term(seq)
+
+    def test_accept_handoff_promotes_existing_short_term_entry(self, sim, trace):
+        policy = self._build(sim, trace)
+        data = DataMessage(seq=4, sender=0)
+        policy.on_receive(data)
+        assert not policy.buffer.is_long_term(4)
+        policy.accept_handoff(data)
+        assert policy.buffer.is_long_term(4)
+        assert policy.buffer.long_term_count == 1
+        assert not policy.short_term.is_tracking(4)

@@ -1,6 +1,5 @@
 """Unit tests for the search coordinator (against a fake host)."""
 
-import pytest
 
 from repro.core.search import SearchCoordinator
 

@@ -1,8 +1,6 @@
 """Shape tests for the ablation experiments."""
 
-import math
 
-import pytest
 
 from repro.experiments.ablation_c import run_c_tradeoff
 from repro.experiments.ablation_churn import run_churn_handoff

@@ -1,6 +1,5 @@
 """Integration tests: FEC wired through the RRMP protocol stack."""
 
-import pytest
 
 from repro.net.ipmulticast import (
     FixedHolders,

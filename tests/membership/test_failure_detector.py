@@ -77,7 +77,7 @@ class TestCrashDetection:
         )
         from repro.membership.failure_detector import GossipFailureDetector
         hits = []
-        detectors = [
+        _detectors = [
             GossipFailureDetector(
                 member, peers_provider=member.region_member_ids,
                 gossip_interval=20.0, suspect_timeout=100.0,

@@ -1,6 +1,5 @@
 """Property-based tests for the closed-form analysis."""
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -55,7 +54,8 @@ class TestPmfProperties:
         total = sum(bufferer_pmf_binomial(n, c, k) for k in range(n + 1))
         assert abs(total - 1.0) < 1e-9
 
-    @given(c=st.floats(min_value=0.1, max_value=15.0), n=st.integers(min_value=200, max_value=2_000))
+    @given(c=st.floats(min_value=0.1, max_value=15.0),
+           n=st.integers(min_value=200, max_value=2_000))
     @settings(max_examples=60, deadline=None)
     def test_no_bufferer_binomial_below_poisson(self, c, n):
         """(1 - C/n)^n <= e^{-C}: the finite-region probability of an

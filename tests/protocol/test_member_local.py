@@ -1,6 +1,5 @@
 """Member state-machine tests: local recovery and buffering behaviour."""
 
-import pytest
 
 from repro.net.latency import ConstantLatency
 from repro.net.topology import single_region

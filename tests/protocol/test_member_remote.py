@@ -1,6 +1,5 @@
 """Member state-machine tests: remote recovery across regions (§2.2)."""
 
-import pytest
 
 from repro.net.latency import HierarchicalLatency
 from repro.net.topology import chain

@@ -3,7 +3,7 @@ including a deterministic reproduction of the paper's Figure 5 walk."""
 
 import pytest
 
-from repro.net.latency import HierarchicalLatency, PairwiseLatency
+from repro.net.latency import HierarchicalLatency
 from repro.net.topology import chain
 from repro.protocol.config import RrmpConfig
 from repro.protocol.messages import DataMessage, SearchRequest

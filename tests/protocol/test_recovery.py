@@ -144,7 +144,6 @@ class TestRemotePhase:
     def test_probability_is_lambda_over_n(self, sim, trace):
         """§2.2: region-wide expected remote requests per round is λ."""
         config = RrmpConfig(session_interval=None, remote_lambda=1.0)
-        rounds = 0
         sent = 0
         for seed in range(120):
             local_sim = type(sim)()
@@ -153,7 +152,6 @@ class TestRemotePhase:
                                     parents=[100, 101], region_size=50, seed=seed)
             RecoveryProcess(host, 7, 0.0).start()
             local_sim.run(until=95.0)  # 10 rounds of RTT=10
-            rounds += 10
             sent += len(host.sent_remote)
         # Per-member per-round probability 1/50; 1200 rounds -> ~24 sends.
         assert 8 <= sent <= 50

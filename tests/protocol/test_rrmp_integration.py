@@ -1,6 +1,5 @@
 """End-to-end integration tests of the full RRMP stack."""
 
-import pytest
 
 from repro.core.policies import FixedTimePolicy
 from repro.net.ipmulticast import BernoulliOutcome, RegionCorrelatedOutcome

@@ -1,6 +1,5 @@
 """Unit tests for the RRMP sender."""
 
-import pytest
 
 from repro.net.ipmulticast import FixedHolderCount, FixedHolders, PerfectOutcome
 from repro.net.latency import ConstantLatency

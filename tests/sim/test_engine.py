@@ -140,6 +140,19 @@ class TestRun:
         with pytest.raises(SimulationError):
             sim.drain(max_events=50)
 
+    def test_drain_error_reports_live_events_and_next_deadline(self, sim):
+        def loop():
+            sim.after(1.0, loop)
+
+        sim.after(1.0, loop)
+        with pytest.raises(SimulationError) as excinfo:
+            sim.drain(max_events=50)
+        message = str(excinfo.value)
+        # One self-rescheduling event remains, due at t=51.
+        assert "max_events=50" in message
+        assert "1 live events still queued" in message
+        assert "next pending at t=51.000000" in message
+
     def test_step_returns_false_when_empty(self, sim):
         assert sim.step() is False
 

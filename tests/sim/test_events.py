@@ -118,3 +118,77 @@ class TestEventQueue:
         queue.clear()
         assert len(queue) == 0
         assert queue.pop() is None
+
+
+class TestCompaction:
+    """Batched removal of cancelled events from the heap."""
+
+    def _fill(self, queue, count):
+        events = []
+        for seq in range(1, count + 1):
+            event = Event(float(seq), seq, lambda: None)
+            queue.push(event)
+            events.append(event)
+        return events
+
+    def test_cancel_updates_dead_and_live_counts(self):
+        queue = EventQueue()
+        events = self._fill(queue, 10)
+        for event in events[:4]:
+            event.cancel()
+        assert queue.dead_count == 4
+        assert queue.live_count() == 6
+        assert len(queue) == 10
+
+    def test_push_compacts_when_half_dead(self):
+        queue = EventQueue()
+        events = self._fill(queue, 200)
+        for event in events[:150]:  # 75% cancelled, well past the trigger
+            event.cancel()
+        assert len(queue) == 200
+        queue.push(Event(999.0, 999, lambda: None))
+        # The triggering push lands on an already-compacted heap.
+        assert len(queue) == 51
+        assert queue.dead_count == 0
+        assert queue.live_count() == 51
+
+    def test_compaction_preserves_pop_order(self):
+        queue = EventQueue()
+        events = self._fill(queue, 120)
+        for event in events[::2]:  # cancel every other event
+            event.cancel()
+        queue.compact()
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append(event.seq)
+        assert popped == [event.seq for event in events[1::2]]
+
+    def test_small_queues_never_compact(self):
+        queue = EventQueue()
+        events = self._fill(queue, 10)
+        for event in events:
+            event.cancel()
+        queue.push(Event(99.0, 99, lambda: None))
+        # Below COMPACT_MIN_DEAD the corpses stay until popped over.
+        assert len(queue) == 11
+        assert queue.live_count() == 1
+
+    def test_cancel_after_pop_does_not_corrupt_accounting(self):
+        queue = EventQueue()
+        self._fill(queue, 5)
+        event = queue.pop()
+        event.cancel()  # already out of the heap
+        assert queue.dead_count == 0
+        assert queue.live_count() == 4
+
+    def test_explicit_compact_is_idempotent(self):
+        queue = EventQueue()
+        events = self._fill(queue, 8)
+        events[0].cancel()
+        queue.compact()
+        queue.compact()
+        assert queue.dead_count == 0
+        assert queue.live_count() == 7

@@ -119,3 +119,79 @@ class TestPeriodicTask:
         call_repeatedly(sim, 5.0, seen.append, "x")
         sim.run(until=12.0)
         assert seen == ["x", "x"]
+
+
+class TestTimerInPlaceRearm:
+    """The push-back optimization: later deadlines re-arm in place."""
+
+    def test_later_rearm_keeps_underlying_event(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(10.0)
+        original = timer._event
+        sim.after(3.0, timer.start, 10.0)  # deadline 13 > 10: in place
+        sim.run(until=5.0)
+        assert timer._event is original
+        assert timer.armed
+        assert timer.deadline == pytest.approx(13.0)
+
+    def test_stale_event_triggers_single_catchup_fire(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(10.0)
+        sim.after(3.0, timer.start, 10.0)
+        sim.run()
+        assert fired == [pytest.approx(13.0)]
+
+    def test_many_pushbacks_one_callback(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(10.0)
+        for t in range(1, 50):
+            sim.at(float(t), timer.start, 10.0)
+        sim.run()
+        assert fired == [pytest.approx(59.0)]
+
+    def test_earlier_rearm_falls_back_to_reschedule(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(10.0)
+        original = timer._event
+        timer.start(3.0)  # earlier: must cancel + reschedule
+        assert timer._event is not original
+        assert original.cancelled
+        sim.run()
+        assert fired == [pytest.approx(3.0)]
+
+    def test_equal_deadline_rearm_reschedules(self, sim):
+        # An equal deadline must not keep the old event: the replacement
+        # event's (later) seq decides same-time ordering.
+        timer = Timer(sim, lambda: None)
+        timer.start(10.0)
+        original = timer._event
+        timer.start(10.0)
+        assert timer._event is not original
+
+    def test_pushback_preserves_same_time_ordering(self, sim):
+        # The catch-up event must fire in the order a cancel+reschedule
+        # at refresh time would have produced.  The timer is refreshed
+        # at t=3 (deadline 11); a plain event lands at t=11 but is only
+        # scheduled at t=5.  Refresh-time seq < plain seq, so the timer
+        # fires first — even though its catch-up is physically scheduled
+        # at t=10 when the stale event fires.
+        order = []
+        timer = Timer(sim, lambda: order.append("timer"))
+        timer.start(10.0)
+        sim.at(3.0, timer.start, 8.0)   # push back to 11, in place
+        sim.at(5.0, lambda: sim.at(11.0, order.append, "plain"))
+        sim.run()
+        assert order == ["timer", "plain"]
+
+    def test_cancel_after_pushback(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(10.0)
+        sim.at(3.0, timer.start, 10.0)
+        sim.at(5.0, timer.cancel)
+        sim.run()
+        assert fired == []
+        assert not timer.armed
