@@ -8,24 +8,29 @@ gossip failure detector (the paper's ref [13] substrate) notices the
 crashed members.  At the end, a late downstream request probes whether
 the churned region can still serve every message.
 
+The topology/policy/latency tuple is one scenario-builder chain; the
+scripted churn choreography (who leaves, who crashes, when) stays
+imperative on the built simulation.
+
 Run:  python examples/churn_and_handoff.py
 """
 
-from repro import HierarchicalLatency, RrmpConfig, RrmpSimulation, chain
 from repro.membership import attach_failure_detectors
 from repro.protocol.messages import DataMessage
+from repro.scenario import scenario
 
 
 def main() -> None:
-    hierarchy = chain([30, 1])  # region under churn + a downstream requester
-    config = RrmpConfig(long_term_c=5.0, session_interval=None,
-                        max_search_rounds=200)
-    simulation = RrmpSimulation(
-        hierarchy,
-        config=config,
-        seed=11,
-        latency=HierarchicalLatency(hierarchy, inter_one_way=200.0),
+    built = (
+        scenario("churn-and-handoff", seed=11)
+        .chain(30, 1)  # region under churn + a downstream requester
+        .latency(inter=200.0)
+        .policy("two_phase", c=5.0)
+        .protocol(session_interval=None, max_search_rounds=200)
+        .build()
     )
+    simulation = built.simulation
+    hierarchy = simulation.hierarchy
     region_nodes = list(hierarchy.regions[0].members)
     requester = hierarchy.regions[1].members[0]
     # suspect_timeout must cover the gossip propagation tail: with

@@ -4,20 +4,21 @@
 Two regions of 25 members, the sender upstream.  Every message has a
 30% chance of missing the *entire* child region (a regional loss — the
 worst case for RRMP, because recovery must cross the WAN throttled by
-the λ remote-request budget, §2.2).  We run the identical seeded
-workload three times:
+the λ remote-request budget, §2.2).  The whole setup is one scenario
+spec; we run the identical seeded workload three times, varying only
+the ``fec`` line:
 
-* ``fec_mode=off``        — pure pull recovery (the paper's protocol);
-* ``fec_mode=proactive``  — 2 parity messages per block of 8, multicast
-  as each block fills: receivers decode gaps locally;
-* ``fec_mode=reactive``   — parity only for blocks the sender observes
-  a retransmission request for.
+* ``off``        — pure pull recovery (the paper's protocol);
+* ``proactive``  — 2 parity messages per block of 8, multicast as each
+  block fills: receivers decode gaps locally;
+* ``reactive``   — parity only for blocks the sender observes a
+  retransmission request for.
 
 Run:  python examples/fec_repair.py
 """
 
-from repro import RegionCorrelatedOutcome, RrmpConfig, RrmpSimulation, chain
 from repro.metrics import Summary, summarize_fec
+from repro.scenario import scenario
 
 MESSAGES = 24
 INTERVAL = 5.0
@@ -25,25 +26,17 @@ HORIZON = 4_000.0
 
 
 def run_mode(mode: str) -> None:
-    hierarchy = chain([25, 25])
-    config = RrmpConfig(
-        fec_mode=mode,
-        fec_block_size=8,
-        fec_parity=2,
-        remote_lambda=4.0,
-        session_interval=50.0,
+    built = (
+        scenario("fec-repair", seed=7)
+        .chain(25, 25)
+        .uniform(MESSAGES, INTERVAL)
+        .regional_loss(region=0.3)
+        .fec(mode, block_size=8, parity=2)
+        .protocol(remote_lambda=4.0, session_interval=50.0)
+        .measure(horizon=HORIZON)
+        .run()
     )
-    simulation = RrmpSimulation(hierarchy, config=config, seed=7)
-    simulation.sender.outcome = RegionCorrelatedOutcome(
-        hierarchy, region_loss=0.3, sender=simulation.sender.node_id
-    )
-    for index in range(MESSAGES):
-        simulation.sim.at(index * INTERVAL, simulation.sender.multicast)
-    if mode != "off":
-        simulation.sim.at(
-            MESSAGES * INTERVAL + 1.0, simulation.sender.flush_parity
-        )
-    simulation.run(until=HORIZON)
+    simulation = built.simulation
 
     latencies = simulation.recovery_latencies()
     stats = simulation.network.stats

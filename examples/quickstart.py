@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Quickstart: one lossy multicast, recovered and buffered by RRMP.
 
-Builds the paper's §4 setting — a single region of 100 receivers with a
-10 ms round-trip time — multicasts a message that only 10 members
-initially receive, and watches three things happen:
+Declares the paper's §4 setting with the scenario builder — a single
+region of 100 receivers with a 10 ms round-trip time, an IP multicast
+that reaches only 10 members — then watches three things happen:
 
 1. randomized local recovery pulls the message to everyone (§2.2);
 2. feedback-based short-term buffering holds copies only while
@@ -14,25 +14,25 @@ initially receive, and watches three things happen:
 Run:  python examples/quickstart.py
 """
 
-from repro import FixedHolderCount, RrmpConfig, RrmpSimulation, single_region
 from repro.metrics import Summary
+from repro.scenario import scenario
 
 
 def main() -> None:
-    config = RrmpConfig(
-        idle_threshold=40.0,   # T = 4 x max RTT, the paper's value
-        long_term_c=6.0,       # expected long-term bufferers per region
-        session_interval=25.0  # sender heartbeats for tail-loss detection
+    built = (
+        scenario("quickstart", seed=42)
+        .single_region(100)
+        .fixed_holders(10)            # IP multicast reaches only 10 members
+        .multicast_once(at=0.0)
+        .policy("two_phase",
+                c=6.0,                # expected long-term bufferers per region
+                idle_threshold=40.0)  # T = 4 x max RTT, the paper's value
+        .protocol(session_interval=25.0)  # heartbeats for tail-loss detection
+        .build()
     )
-    simulation = RrmpSimulation(
-        single_region(100),
-        config=config,
-        seed=42,
-        outcome=FixedHolderCount(10),  # IP multicast reaches only 10 members
-    )
+    simulation = built.simulation
 
     print("== RRMP quickstart: 100 members, initial multicast reaches 10 ==\n")
-    simulation.sender.multicast()
 
     for checkpoint in (25.0, 50.0, 100.0, 200.0, 400.0):
         simulation.run(until=checkpoint)
@@ -42,9 +42,10 @@ def main() -> None:
         )
 
     simulation.run(duration=2_000.0)
+    expected_c = built.spec.policy.c
     print(
         f"\nsteady state: received {simulation.received_count(1)}/100, "
-        f"long-term bufferers {simulation.buffering_count(1)} (expected ≈ {config.long_term_c:g})"
+        f"long-term bufferers {simulation.buffering_count(1)} (expected ≈ {expected_c:g})"
     )
 
     latencies = simulation.recovery_latencies()

@@ -1,19 +1,20 @@
 #!/usr/bin/env python3
 """WAN error recovery across an error-recovery hierarchy (paper §2).
 
-Recreates the Figure 1/2 setting: three regions in a chain, the sender
-in region 0, with inter-region latency an order of magnitude above the
-intra-region latency.  An entire downstream region misses a message (a
-*regional loss*), so local recovery alone cannot help: watch the
-λ-probabilistic remote requests cross the WAN link, the upstream relay
-rule, and the regional re-multicast of the repair — then a late
-straggler exercising the §3.3 search for bufferers.
+Recreates the Figure 1/2 setting with the scenario builder: three
+regions in a chain, the sender in region 0, with inter-region latency
+an order of magnitude above the intra-region latency.  An entire
+downstream region misses a message (a *regional loss*), so local
+recovery alone cannot help: watch the λ-probabilistic remote requests
+cross the WAN link, the upstream relay rule, and the regional
+re-multicast of the repair — then a late straggler exercising the §3.3
+search for bufferers.
 
 Run:  python examples/wan_hierarchy.py
 """
 
-from repro import HierarchicalLatency, RrmpConfig, RrmpSimulation, chain
 from repro.protocol.messages import DataMessage
+from repro.scenario import scenario
 
 INTERESTING = (
     "loss_detected",
@@ -28,14 +29,15 @@ INTERESTING = (
 
 
 def main() -> None:
-    hierarchy = chain([6, 6, 6])  # region 0 -> region 1 -> region 2
-    config = RrmpConfig(remote_lambda=1.0, session_interval=None)
-    simulation = RrmpSimulation(
-        hierarchy,
-        config=config,
-        seed=7,
-        latency=HierarchicalLatency(hierarchy, intra_one_way=5.0, inter_one_way=40.0),
+    built = (
+        scenario("wan-hierarchy", seed=7)
+        .chain(6, 6, 6)  # region 0 -> region 1 -> region 2
+        .latency(intra=5.0, inter=40.0)
+        .protocol(remote_lambda=1.0, session_interval=None)
+        .build()
     )
+    simulation = built.simulation
+    hierarchy = simulation.hierarchy
 
     print("== WAN hierarchy: regional loss in region 1, relay to region 2 ==\n")
     data = DataMessage(seq=1, sender=simulation.sender.node_id)
@@ -69,8 +71,9 @@ def main() -> None:
                   f"{sum(latencies) / len(latencies):7.1f} ms over {len(latencies)} members")
 
     stats = simulation.network.stats
+    remote_lambda = built.spec.policy.remote_lambda
     print(f"\nremote requests sent: {stats.sent_by_type.get('RemoteRequest', 0)} "
-          f"(λ = {config.remote_lambda:g} per region per round)")
+          f"(λ = {remote_lambda:g} per region per round)")
     print(f"regional repair multicasts: {simulation.trace.count('regional_multicast')}")
 
 

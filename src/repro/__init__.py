@@ -55,9 +55,20 @@ from repro.protocol import (
     RrmpSimulation,
     two_phase_policy_factory,
 )
+# NOTE: the `scenario()` builder function is deliberately NOT re-exported
+# here — a top-level `scenario` name would shadow the `repro.scenario`
+# submodule attribute.  Use ``from repro.scenario import scenario``.
+from repro.scenario import (
+    ScenarioBuilder,
+    ScenarioSpec,
+    build_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
 from repro.sim import RandomStreams, Simulator, TraceLog
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BernoulliOutcome",
@@ -86,13 +97,19 @@ __all__ = [
     "RrmpMember",
     "RrmpSender",
     "RrmpSimulation",
+    "ScenarioBuilder",
+    "ScenarioSpec",
     "Simulator",
     "TraceLog",
     "TwoPhaseBufferPolicy",
     "XorCodec",
     "balanced_tree",
+    "build_scenario",
     "chain",
+    "get_scenario",
     "make_codec",
+    "register_scenario",
+    "scenario_names",
     "single_region",
     "star",
     "two_phase_policy_factory",

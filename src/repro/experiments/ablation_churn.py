@@ -18,21 +18,23 @@ from typing import Dict, List
 from repro.experiments.base import run_sweep
 from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean
-from repro.net.latency import HierarchicalLatency
-from repro.net.topology import chain
-from repro.protocol.config import RrmpConfig
 from repro.protocol.messages import DataMessage
-from repro.protocol.rrmp import RrmpSimulation
+from repro.scenario.builder import scenario
 
 
 def _one_run(graceful: bool, n: int, c: float, seed: int,
              depart_at: float, request_at: float, horizon: float) -> Dict[str, float]:
-    hierarchy = chain([n, 1])
-    config = RrmpConfig(long_term_c=c, session_interval=None, max_search_rounds=200)
-    simulation = RrmpSimulation(
-        hierarchy, config=config, seed=seed,
-        latency=HierarchicalLatency(hierarchy, inter_one_way=500.0),
+    built = (
+        scenario("ablation-churn", seed=seed)
+        .chain(n, 1)
+        .latency(inter=500.0)
+        .policy("two_phase", c=c)
+        .protocol(session_interval=None, max_search_rounds=200)
+        .measure(horizon=horizon)
+        .build()
     )
+    simulation = built.simulation
+    hierarchy = simulation.hierarchy
     data = DataMessage(seq=1, sender=simulation.sender.node_id)
     region_nodes = list(hierarchy.regions[0].members)
     for node in region_nodes:
@@ -54,7 +56,7 @@ def _one_run(graceful: bool, n: int, c: float, seed: int,
     simulation.sim.at(depart_at, depart_bufferers)
     requester = hierarchy.regions[1].members[0]
     simulation.sim.at(request_at, simulation.members[requester].inject_loss_detection, 1)
-    simulation.run(until=horizon)
+    built.run()
     served = simulation.trace.first("remote_request_served")
     return {
         "message survived (%)": 100.0 if served is not None else 0.0,

@@ -37,8 +37,7 @@ from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean
 from repro.net.ipmulticast import RegionCorrelatedOutcome
 from repro.net.topology import chain
-from repro.protocol.config import FEC_OFF, RrmpConfig
-from repro.protocol.rrmp import RrmpSimulation
+from repro.scenario.builder import scenario
 from repro.tree.rmtp import TreeSimulation
 
 #: RRMP variants compared at every sweep point.
@@ -57,24 +56,21 @@ def _measure_rrmp(
     seed: int,
     horizon: float,
 ) -> Dict[str, float]:
-    hierarchy = chain([region_size, region_size])
-    config = RrmpConfig(
-        fec_mode=mode,
-        fec_block_size=k,
-        fec_parity=r,
-        remote_lambda=remote_lambda,
-        session_interval=50.0,
-        max_recovery_time=horizon,
+    built = (
+        scenario("ablation-fec", seed=seed)
+        .chain(region_size, region_size)
+        .uniform(messages, interval)
+        .regional_loss(region=region_loss)
+        .fec(mode, block_size=k, parity=r, flush_after=1.0)
+        .protocol(
+            remote_lambda=remote_lambda, session_interval=50.0,
+            max_recovery_time=horizon,
+        )
+        .measure(horizon=horizon)
+        .build()
     )
-    simulation = RrmpSimulation(hierarchy, config=config, seed=seed)
-    simulation.sender.outcome = RegionCorrelatedOutcome(
-        hierarchy, region_loss=region_loss, sender=simulation.sender.node_id
-    )
-    for index in range(messages):
-        simulation.sim.at(index * interval, simulation.sender.multicast)
-    if mode != FEC_OFF:
-        simulation.sim.at(messages * interval + 1.0, simulation.sender.flush_parity)
-    simulation.run(until=horizon)
+    simulation = built.simulation
+    built.run()
     latencies = simulation.recovery_latencies()
     report = summarize_fec(simulation.trace)
     return {

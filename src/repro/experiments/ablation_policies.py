@@ -21,55 +21,53 @@ independent receiver loss at IP-multicast time, session messages on.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List
 
-from repro.core.policies import FixedTimePolicy, NeverDiscardPolicy
 from repro.experiments.base import run_sweep
-from repro.hashing.deterministic import HashBuffererPolicy
 from repro.metrics.occupancy import OccupancyProbe
 from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean
 from repro.net.ipmulticast import BernoulliOutcome
 from repro.net.topology import chain
-from repro.protocol.config import RrmpConfig
-from repro.protocol.rrmp import RrmpSimulation
-from repro.stability.detector import StabilityBufferPolicy, attach_stability
+from repro.scenario.builder import scenario
 from repro.tree.rmtp import TreeSimulation
-from repro.workloads.traffic import UniformStream
 
 
-#: The compared schemes, in table order.  Factories live here (not in
-#: trial params) so trial specs stay picklable: the trial function
-#: resolves its factory by label inside the worker process.
+#: The compared schemes, in table order: label -> the PolicySpec kind
+#: and knobs the scenario builder applies (or "tree" for the RMTP
+#: baseline, which is a different simulation class entirely).  Keeping
+#: the mapping here — not in trial params — keeps trial specs
+#: picklable: the trial function resolves its policy by label inside
+#: the worker process.
 _POLICIES: "List[tuple]" = [
-    ("two-phase C=6 T=40", None, False),  # None -> facade default (two-phase)
-    ("fixed-time 200ms", lambda _n: FixedTimePolicy(200.0), False),
-    ("fixed-time 1000ms", lambda _n: FixedTimePolicy(1000.0), False),
-    ("stability-gossip", lambda _n: StabilityBufferPolicy(), True),
-    ("hash C=6", lambda _n: HashBuffererPolicy(6.0), False),
-    ("never-discard", lambda _n: NeverDiscardPolicy(), False),
-    ("repair-server tree", "tree", False),
+    ("two-phase C=6 T=40", ("two_phase", {})),
+    ("fixed-time 200ms", ("fixed_time", {"hold_time": 200.0})),
+    ("fixed-time 1000ms", ("fixed_time", {"hold_time": 1000.0})),
+    ("stability-gossip", ("stability", {})),
+    ("hash C=6", ("hash", {"c": 6.0})),
+    ("never-discard", ("never_discard", {})),
+    ("repair-server tree", ("tree", {})),
 ]
 
-_POLICY_BY_LABEL: Dict[str, tuple] = {label: entry for (label, *entry) in _POLICIES}
+_POLICY_BY_LABEL: Dict[str, tuple] = {label: entry for label, entry in _POLICIES}
 
 
 def trial_policy(params: Dict[str, object], seed: int) -> Dict[str, float]:
     """Runner trial: one streamed-WAN run under one buffering policy."""
-    factory, needs_stability = _POLICY_BY_LABEL[str(params["policy"])]
+    kind, knobs = _POLICY_BY_LABEL[str(params["policy"])]
     args = (
         int(params["region_size"]), int(params["messages"]),
         float(params["interval"]), float(params["loss"]),
         seed, float(params["horizon"]),
     )
-    if factory == "tree":
+    if kind == "tree":
         return _measure_tree(*args)
-    return _measure_rrmp(factory, needs_stability, *args)
+    return _measure_rrmp(kind, knobs, *args)
 
 
 def _measure_rrmp(
-    policy_factory: Optional[Callable],
-    needs_stability: bool,
+    kind: str,
+    knobs: Dict[str, float],
     region_size: int,
     messages: int,
     interval: float,
@@ -77,44 +75,29 @@ def _measure_rrmp(
     seed: int,
     horizon: float,
 ) -> Dict[str, float]:
-    hierarchy = chain([region_size] * 3)
     # long_term_ttl enables §3.2's eventual discard so the two-phase
     # row shows the full lifecycle instead of holding C copies forever.
-    config = RrmpConfig(
-        session_interval=50.0, max_recovery_time=horizon, long_term_ttl=1_000.0
+    built = (
+        scenario("ablation-policies", seed=seed)
+        .chain(region_size, region_size, region_size)
+        .uniform(messages, interval)
+        .loss(p=loss)
+        .policy(kind, long_term_ttl=1_000.0, **knobs)
+        .protocol(session_interval=50.0, max_recovery_time=horizon)
+        .measure(horizon=horizon, probe_period=10.0)
+        .build()
     )
-    simulation = RrmpSimulation(
-        hierarchy,
-        config=config,
-        seed=seed,
-        outcome=BernoulliOutcome(loss),
-        policy_factory=policy_factory,
-    )
-    agents = attach_stability(list(simulation.members.values())) if needs_stability else []
-    total_probe = OccupancyProbe(simulation.sim, simulation.buffer_occupancy, period=10.0)
-    peak_node = [0.0]
-
-    def sample_peak() -> float:
-        per_node = simulation.occupancy_by_node()
-        current = max(per_node.values()) if per_node else 0
-        peak_node[0] = max(peak_node[0], float(current))
-        return float(current)
-
-    node_probe = OccupancyProbe(simulation.sim, sample_peak, period=10.0)
-    UniformStream(messages, interval).schedule(simulation)
-    simulation.run(until=horizon)
-    total_probe.stop()
-    node_probe.stop()
-    for agent in agents:
-        agent.stop()
+    simulation = built.simulation
+    built.run()
     latencies = simulation.recovery_latencies()
     undelivered = sum(
         len(simulation.alive_members()) - simulation.received_count(seq)
         for seq in range(1, messages + 1)
     )
+    assert built.total_probe is not None
     return {
-        "avg total occupancy": total_probe.average(),
-        "peak single-node occupancy": peak_node[0],
+        "avg total occupancy": built.total_probe.average(),
+        "peak single-node occupancy": built.peak_node_occupancy,
         "mean recovery latency (ms)": mean(latencies) if latencies else 0.0,
         "control messages": float(simulation.control_message_count()),
         "data messages": float(simulation.data_message_count()),
@@ -185,7 +168,7 @@ def run_policy_comparison(
         "undelivered",
         "violations",
     ]
-    labels = [label for label, _factory, _needs in _POLICIES]
+    labels = [label for label, _policy in _POLICIES]
     grid = [
         {"policy": label, "region_size": region_size, "messages": messages,
          "interval": interval, "loss": loss, "horizon": horizon}

@@ -21,27 +21,27 @@ from repro.analysis.epidemic import pull_epidemic_rounds
 from repro.experiments.base import run_sweep
 from repro.metrics.report import SeriesTable
 from repro.metrics.stats import mean
-from repro.net.latency import ConstantLatency
-from repro.net.topology import single_region
-from repro.protocol.config import RrmpConfig
 from repro.protocol.messages import DataMessage
-from repro.protocol.rrmp import RrmpSimulation
+from repro.scenario.builder import scenario
 
 
 def trial_scaling(params: Dict[str, object], seed: int) -> Dict[str, float]:
     """Runner trial: one §4 whole-region workload at region size *n*."""
     n = int(params["n"])
     k = max(1, round(float(params["holder_fraction"]) * n))
-    hierarchy = single_region(n)
-    config = RrmpConfig(
-        long_term_c=float(params["long_term_c"]),
-        session_interval=None,
-        max_recovery_time=5_000.0,
+    built = (
+        scenario("ablation-scaling", seed=seed)
+        .single_region(n)
+        .latency(intra=float(params["rtt"]) / 2.0)
+        .policy("two_phase", c=float(params["long_term_c"]))
+        .protocol(session_interval=None, max_recovery_time=5_000.0)
+        .measure(duration=3_000.0)
+        .build()
     )
-    simulation = RrmpSimulation(
-        hierarchy, config=config, seed=seed,
-        latency=ConstantLatency(float(params["rtt"]) / 2.0),
-    )
+    simulation = built.simulation
+    hierarchy = simulation.hierarchy
+    # Holder injection stays bespoke (its own RNG stream predates the
+    # scenario API's detect_all workload and keeps old tables stable).
     data = DataMessage(seq=1, sender=simulation.sender.node_id)
     rng = simulation.streams.stream("scaling", "holders")
     holders = set(rng.sample(hierarchy.nodes, k))
@@ -51,7 +51,7 @@ def trial_scaling(params: Dict[str, object], seed: int) -> Dict[str, float]:
             member.inject_receive(data)
         else:
             member.inject_loss_detection(1)
-    simulation.run(duration=3_000.0)
+    built.run()
     received = [record.time for record
                 in simulation.trace.of_kind("member_received")]
     stats = simulation.network.stats

@@ -7,9 +7,15 @@ Usage::
     rrmp-experiments run fig8 --param seeds=25 --param n=50
     rrmp-experiments run ablation_scaling --quick --jobs 4
     rrmp-experiments all --quick --jobs 4 --cache-dir /tmp/rrmp-cache
+    rrmp-experiments scenarios list
+    rrmp-experiments scenarios run wan_burst_loss --json
 
 ``--param key=value`` values are parsed as Python literals (numbers,
-tuples, booleans) and passed to the experiment function.
+tuples, booleans; lowercase ``true``/``false``/``none`` coerce too)
+and passed to the experiment function.
+
+``scenarios`` lists, describes and runs the named declarative
+scenarios of :mod:`repro.scenario` (see ``scenarios --help``).
 
 ``run`` and ``all`` execute through the sweep runner: ``--jobs N``
 fans trials across N worker processes (byte-identical tables to
@@ -37,20 +43,42 @@ from repro.runner import (
     SerialBackend,
     using_runner,
 )
+from repro.scenario.cli import add_scenarios_parser, main_scenarios
 
 __all__ = ["QUICK_PARAMS", "build_parser", "main", "parse_param", "runner_from_args"]
 
 
 def parse_param(text: str) -> tuple:
-    """Parse one ``key=value`` override (value as a Python literal)."""
+    """Parse one ``key=value`` override.
+
+    The value is parsed as a Python literal; what the literal grammar
+    rejects is coerced in stages — lowercase/uppercase ``true``/
+    ``false``/``none``/``null`` to their Python values, then a float
+    parse (catching spellings like ``1_0e-3``, ``inf`` or ``nan``) —
+    before falling back to the raw string.  ``--param fec=true`` must
+    arrive as ``True``, not the string ``"true"``.
+    """
     if "=" not in text:
         raise argparse.ArgumentTypeError(f"--param expects key=value, got {text!r}")
     key, _, raw = text.partition("=")
+    return (key.strip(), _coerce_value(raw.strip()))
+
+
+_WORD_VALUES = {"true": True, "false": False, "none": None, "null": None}
+
+
+def _coerce_value(raw: str) -> object:
     try:
-        value = ast.literal_eval(raw)
+        return ast.literal_eval(raw)
     except (ValueError, SyntaxError):
-        value = raw  # fall back to the raw string
-    return (key.strip(), value)
+        pass
+    lowered = raw.lower()
+    if lowered in _WORD_VALUES:
+        return _WORD_VALUES[lowered]
+    try:
+        return float(raw)
+    except ValueError:
+        return raw  # fall back to the raw string
 
 
 def _positive_int(text: str) -> int:
@@ -103,6 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_arguments(run_parser)
     all_parser = commands.add_parser("all", help="run every experiment")
     _add_runner_arguments(all_parser)
+    add_scenarios_parser(commands)
     return parser
 
 
@@ -119,6 +148,8 @@ def runner_from_args(args: argparse.Namespace) -> Runner:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "scenarios":
+        return main_scenarios(args)
     if args.command == "list":
         width = max(len(eid) for eid in experiment_ids())
         for eid in experiment_ids():

@@ -182,6 +182,20 @@ class RrmpSimulation:
         """Whether every alive member has received *seq*."""
         return all(m.has_received(seq) for m in self.alive_members())
 
+    def delivered_fraction(self, message_count: int) -> float:
+        """Fraction of (alive member, message 1..*message_count*) pairs
+        delivered so far; 1.0 when there is nothing to deliver."""
+        members = self.alive_members()
+        if not members or message_count == 0:
+            return 1.0
+        delivered = sum(
+            1
+            for member in members
+            for seq in range(1, message_count + 1)
+            if member.has_received(seq)
+        )
+        return delivered / (len(members) * message_count)
+
     def buffer_occupancy(self) -> int:
         """Total buffered messages across all alive members."""
         return sum(m.buffered_count for m in self.alive_members())

@@ -1,0 +1,71 @@
+"""Declarative scenario API (one serializable spec per simulation run).
+
+The package makes the implicit experiment tuple — topology × traffic ×
+loss × churn × buffer policy — a first-class, serializable value:
+
+* :mod:`repro.scenario.spec` — the frozen dataclass tree
+  (:class:`ScenarioSpec` and its sub-specs) with JSON/pickle round
+  trips and a stable digest;
+* :mod:`repro.scenario.builder` — the fluent :func:`scenario` builder;
+* :mod:`repro.scenario.materialize` — :func:`build_scenario`, turning
+  a spec into a wired :class:`~repro.protocol.rrmp.RrmpSimulation`
+  with traffic, churn, probes and FEC flush scheduled;
+* :mod:`repro.scenario.registry` / :mod:`repro.scenario.library` —
+  named scenarios (``@register_scenario``) behind the ``scenarios``
+  CLI subcommand.
+
+Quickstart::
+
+    from repro.scenario import scenario
+
+    built = (
+        scenario("demo", seed=7)
+        .regions(3, 20)
+        .uniform(10, 25.0)
+        .loss(p=0.05)
+        .policy("two_phase", c=4.0)
+        .measure(horizon=1_500.0)
+        .run()
+    )
+    print(built.summary())
+"""
+
+from repro.scenario.builder import ScenarioBuilder, scenario
+from repro.scenario.materialize import BuiltScenario, build_scenario
+from repro.scenario.registry import (
+    RegisteredScenario,
+    get_scenario,
+    register_scenario,
+    registered_scenarios,
+    scenario_names,
+)
+from repro.scenario.spec import (
+    ChurnSpec,
+    FecSpec,
+    LossSpec,
+    MeasurementSpec,
+    PolicySpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+)
+
+__all__ = [
+    "BuiltScenario",
+    "ChurnSpec",
+    "FecSpec",
+    "LossSpec",
+    "MeasurementSpec",
+    "PolicySpec",
+    "RegisteredScenario",
+    "ScenarioBuilder",
+    "ScenarioSpec",
+    "TopologySpec",
+    "TrafficSpec",
+    "build_scenario",
+    "get_scenario",
+    "register_scenario",
+    "registered_scenarios",
+    "scenario",
+    "scenario_names",
+]

@@ -1,0 +1,318 @@
+"""Fluent construction of :class:`~repro.scenario.spec.ScenarioSpec`.
+
+The builder is sugar over the frozen spec tree: every method replaces
+one sub-spec and returns ``self``, so a complete scenario reads as one
+chain::
+
+    from repro.scenario import scenario
+
+    built = (
+        scenario("wan-demo", seed=7)
+        .regions(5, 100)
+        .poisson(rate=2.0)
+        .loss(p=0.01)
+        .policy("two_phase", c=3.0)
+        .measure(horizon=2_000.0)
+        .build()
+    )
+
+``spec()`` returns the immutable value (serialize it, register it,
+ship it to a worker); ``build()`` materializes it; ``run()`` builds and
+runs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Tuple
+
+from repro.scenario.materialize import BuiltScenario
+from repro.scenario.spec import (
+    ChurnSpec,
+    FecSpec,
+    LossSpec,
+    ScenarioSpec,
+    TrafficSpec,
+)
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` for
+#: knobs where ``None`` is meaningful (session_interval, horizon, ttl).
+_UNSET = object()
+
+
+class ScenarioBuilder:
+    """Accumulates a :class:`ScenarioSpec` through chained calls."""
+
+    def __init__(self, name: str = "scenario", seed: int = 0) -> None:
+        self._spec = ScenarioSpec(name=str(name), seed=int(seed))
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def single_region(self, n: int) -> "ScenarioBuilder":
+        """One region of *n* members (the paper's §4 setting)."""
+        return self._topology(kind="single_region", n=int(n))
+
+    def regions(self, count: int, size: int) -> "ScenarioBuilder":
+        """*count* equal regions of *size*: a root plus ``count - 1``
+        children hanging off it (the north-star multi-region layout)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return self._topology(
+            kind="star", n=int(size), sizes=tuple([int(size)] * (count - 1))
+        )
+
+    def chain(self, *sizes: int) -> "ScenarioBuilder":
+        """Regions in a line, region *i* parenting region *i + 1*."""
+        return self._topology(kind="chain", sizes=tuple(int(s) for s in sizes))
+
+    def star(self, root: int, *leaves: int) -> "ScenarioBuilder":
+        """A root region of *root* members with one child per leaf size."""
+        return self._topology(
+            kind="star", n=int(root), sizes=tuple(int(s) for s in leaves)
+        )
+
+    def tree(self, depth: int, fanout: int, region_size: int) -> "ScenarioBuilder":
+        """A balanced hierarchy: *fanout* children per region, *depth* levels."""
+        return self._topology(
+            kind="balanced_tree", depth=int(depth), fanout=int(fanout),
+            n=int(region_size),
+        )
+
+    def latency(self, intra: Optional[float] = None,
+                inter: Optional[float] = None) -> "ScenarioBuilder":
+        """One-way delays (ms): within a region and per region hop."""
+        changes = {}
+        if intra is not None:
+            changes["intra_one_way"] = float(intra)
+        if inter is not None:
+            changes["inter_one_way"] = float(inter)
+        return self._topology(**changes)
+
+    def _topology(self, **changes) -> "ScenarioBuilder":
+        self._spec = replace(self._spec, topology=replace(self._spec.topology, **changes))
+        return self
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def uniform(self, count: int, interval: float, start: float = 0.0) -> "ScenarioBuilder":
+        """*count* multicasts at a fixed *interval*, starting at *start*."""
+        return self._traffic(TrafficSpec(
+            kind="uniform", count=int(count), interval=float(interval),
+            start=float(start),
+        ))
+
+    def multicast_once(self, at: float = 0.0) -> "ScenarioBuilder":
+        """A single multicast at time *at*."""
+        return self._traffic(TrafficSpec(
+            kind="uniform", count=1, interval=1.0, start=float(at),
+        ))
+
+    def poisson(self, rate: float, duration: float = 0.0,
+                start: float = 0.0) -> "ScenarioBuilder":
+        """A Poisson stream of *rate* msgs/ms; *duration* 0 means
+        "until the measurement horizon"."""
+        return self._traffic(TrafficSpec(
+            kind="poisson", rate=float(rate), duration=float(duration),
+            start=float(start),
+        ))
+
+    def bursts(self, *bursts: Tuple[float, int]) -> "ScenarioBuilder":
+        """Explicit ``(time, size)`` bursts of back-to-back sends."""
+        normalized = tuple((float(t), int(size)) for t, size in bursts)
+        return self._traffic(TrafficSpec(kind="burst", bursts=normalized))
+
+    def ramp(self, count: int, initial_interval: float, final_interval: float,
+             start: float = 0.0) -> "ScenarioBuilder":
+        """A linearly accelerating stream (overload onset); see
+        :class:`repro.workloads.traffic.RampStream`."""
+        return self._traffic(TrafficSpec(
+            kind="ramp", count=int(count),
+            initial_interval=float(initial_interval),
+            final_interval=float(final_interval), start=float(start),
+        ))
+
+    def initial_holders(self, k: int) -> "ScenarioBuilder":
+        """The Figure 6/7 probe: one message held by *k* random members,
+        everyone else detecting the loss simultaneously at t = 0."""
+        return self._traffic(TrafficSpec(kind="detect_all", holders=int(k)))
+
+    def search_probe(self, bufferers: int) -> "ScenarioBuilder":
+        """The Figure 8/9 probe: *bufferers* long-term holders in the
+        root region, one downstream requester searching for them."""
+        return self._traffic(TrafficSpec(kind="search_probe", bufferers=int(bufferers)))
+
+    def _traffic(self, traffic: TrafficSpec) -> "ScenarioBuilder":
+        self._spec = replace(self._spec, traffic=traffic)
+        return self
+
+    # ------------------------------------------------------------------
+    # Loss
+    # ------------------------------------------------------------------
+    def loss(self, p: float) -> "ScenarioBuilder":
+        """Independent per-receiver loss probability *p* at multicast time."""
+        return self._loss(LossSpec(kind="bernoulli", p=float(p)))
+
+    def fixed_holders(self, k: int) -> "ScenarioBuilder":
+        """Each multicast reaches exactly *k* uniformly-chosen members."""
+        return self._loss(LossSpec(kind="fixed_holders", k=int(k)))
+
+    def regional_loss(self, region: float, receiver: float = 0.0) -> "ScenarioBuilder":
+        """Whole regions miss with probability *region*; survivors lose
+        independently with *receiver* (the remote-recovery stressor)."""
+        return self._loss(LossSpec(
+            kind="region_correlated", region_loss=float(region),
+            receiver_loss=float(receiver),
+        ))
+
+    def gilbert_elliott(self, p_good_to_bad: float = 0.01,
+                        p_bad_to_good: float = 0.3, p_good: float = 0.0,
+                        p_bad: float = 0.5) -> "ScenarioBuilder":
+        """Bursty two-state link loss on every data packet (wireless-style
+        correlated drops, including repairs)."""
+        return self._loss(LossSpec(
+            kind="gilbert_elliott",
+            p_good_to_bad=float(p_good_to_bad),
+            p_bad_to_good=float(p_bad_to_good),
+            p_good=float(p_good), p_bad=float(p_bad),
+        ))
+
+    def _loss(self, loss: LossSpec) -> "ScenarioBuilder":
+        self._spec = replace(self._spec, loss=loss)
+        return self
+
+    # ------------------------------------------------------------------
+    # Policy, protocol, FEC, churn
+    # ------------------------------------------------------------------
+    def policy(self, kind: Optional[str] = None, *, c: Optional[float] = None,
+               idle_threshold: Optional[float] = None,
+               long_term_ttl=_UNSET,
+               hold_time: Optional[float] = None) -> "ScenarioBuilder":
+        """Select the buffer-management family and/or its knobs.
+
+        Omitting *kind* keeps the currently selected family, so
+        ``.policy(c=4.0)`` tweaks one knob without resetting an earlier
+        ``.policy("fixed_time", ...)`` choice.
+        """
+        changes = {}
+        if kind is not None:
+            changes["kind"] = str(kind)
+        if c is not None:
+            changes["c"] = float(c)
+        if idle_threshold is not None:
+            changes["idle_threshold"] = float(idle_threshold)
+        if long_term_ttl is not _UNSET:
+            changes["long_term_ttl"] = (
+                None if long_term_ttl is None else float(long_term_ttl)
+            )
+        if hold_time is not None:
+            changes["hold_time"] = float(hold_time)
+        return self._policy(**changes)
+
+    def protocol(self, *, remote_lambda: Optional[float] = None,
+                 session_interval=_UNSET, timer_factor: Optional[float] = None,
+                 max_recovery_time=_UNSET,
+                 max_search_rounds=_UNSET) -> "ScenarioBuilder":
+        """Protocol-level knobs (λ, session messages, give-up deadline)."""
+        changes = {}
+        if remote_lambda is not None:
+            changes["remote_lambda"] = float(remote_lambda)
+        if session_interval is not _UNSET:
+            changes["session_interval"] = (
+                None if session_interval is None else float(session_interval)
+            )
+        if timer_factor is not None:
+            changes["timer_factor"] = float(timer_factor)
+        if max_recovery_time is not _UNSET:
+            changes["max_recovery_time"] = (
+                None if max_recovery_time is None else float(max_recovery_time)
+            )
+        if max_search_rounds is not _UNSET:
+            changes["max_search_rounds"] = (
+                None if max_search_rounds is None else int(max_search_rounds)
+            )
+        return self._policy(**changes)
+
+    def _policy(self, **changes) -> "ScenarioBuilder":
+        self._spec = replace(self._spec, policy=replace(self._spec.policy, **changes))
+        return self
+
+    def fec(self, mode: str, block_size: int = 8, parity: int = 1,
+            flush_after: Optional[float] = 1.0) -> "ScenarioBuilder":
+        """Erasure-coded repair: ``proactive``/``reactive``/``off``."""
+        self._spec = replace(self._spec, fec=FecSpec(
+            mode=str(mode), block_size=int(block_size), parity=int(parity),
+            flush_after=flush_after if flush_after is None else float(flush_after),
+        ))
+        return self
+
+    def churn(self, leave_rate: float = 0.0, crash_rate: float = 0.0,
+              join_rate: float = 0.0, duration: float = 0.0,
+              protect_sender: bool = True) -> "ScenarioBuilder":
+        """Poisson membership churn (events/ms; duration 0 = horizon)."""
+        self._spec = replace(self._spec, churn=ChurnSpec(
+            kind="random", leave_rate=float(leave_rate),
+            crash_rate=float(crash_rate), join_rate=float(join_rate),
+            duration=float(duration), protect_sender=bool(protect_sender),
+        ))
+        return self
+
+    # ------------------------------------------------------------------
+    # Measurement & identity
+    # ------------------------------------------------------------------
+    def measure(self, horizon=_UNSET, duration=_UNSET,
+                drain: Optional[bool] = None, probe_period=_UNSET,
+                keep_trace: Optional[bool] = None) -> "ScenarioBuilder":
+        """Run bound (horizon / duration / drain) and probe settings."""
+        measurement = self._spec.measurement
+        changes = {}
+        if horizon is not _UNSET:
+            changes["horizon"] = None if horizon is None else float(horizon)
+        if duration is not _UNSET:
+            changes["duration"] = None if duration is None else float(duration)
+        if drain is not None:
+            changes["drain"] = bool(drain)
+        if probe_period is not _UNSET:
+            changes["probe_period"] = (
+                None if probe_period is None else float(probe_period)
+            )
+        if keep_trace is not None:
+            changes["keep_trace"] = bool(keep_trace)
+        self._spec = replace(self._spec, measurement=replace(measurement, **changes))
+        return self
+
+    def seed(self, seed: int) -> "ScenarioBuilder":
+        """Master seed; every random decision derives from it."""
+        self._spec = replace(self._spec, seed=int(seed))
+        return self
+
+    def named(self, name: str) -> "ScenarioBuilder":
+        """Rename the scenario."""
+        self._spec = replace(self._spec, name=str(name))
+        return self
+
+    def describe(self, text: str) -> "ScenarioBuilder":
+        """Attach a one-line human description."""
+        self._spec = replace(self._spec, description=str(text))
+        return self
+
+    # ------------------------------------------------------------------
+    # Terminals
+    # ------------------------------------------------------------------
+    def spec(self) -> ScenarioSpec:
+        """The immutable spec value accumulated so far."""
+        return self._spec
+
+    def build(self) -> BuiltScenario:
+        """Materialize: simulation built, traffic and churn scheduled."""
+        return self._spec.build()
+
+    def run(self) -> BuiltScenario:
+        """Build and run to the measurement end."""
+        return self._spec.run()
+
+
+def scenario(name: str = "scenario", seed: int = 0) -> ScenarioBuilder:
+    """Start a fluent scenario definition."""
+    return ScenarioBuilder(name, seed)

@@ -1,0 +1,90 @@
+"""The ``scenarios`` CLI subcommand: list / describe / run named specs.
+
+Wired into the ``rrmp-experiments`` entry point::
+
+    rrmp-experiments scenarios list
+    rrmp-experiments scenarios describe wan_burst_loss
+    rrmp-experiments scenarios run overload_onset --seed 3 --json
+
+``describe`` prints the spec's JSON form (the exact payload
+``ScenarioSpec.from_json`` accepts) plus its digest; ``run``
+materializes, runs to the measurement end and prints the summary
+metrics — as aligned text or, with ``--json``, as one JSON object for
+pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.scenario.registry import get_scenario, registered_scenarios
+
+
+def add_scenarios_parser(commands) -> None:
+    """Attach the ``scenarios`` subcommand tree to *commands*."""
+    parser = commands.add_parser(
+        "scenarios", help="list, describe or run registered named scenarios"
+    )
+    actions = parser.add_subparsers(dest="scenario_command", required=True)
+    actions.add_parser("list", help="list registered scenarios")
+    describe = actions.add_parser("describe", help="print one scenario's spec JSON")
+    describe.add_argument("name")
+    run = actions.add_parser("run", help="build and run one scenario")
+    run.add_argument("name")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the spec's master seed")
+    run.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the run summary as JSON")
+
+
+def main_scenarios(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``scenarios`` invocation; returns the exit code."""
+    if args.scenario_command == "list":
+        return _cmd_list()
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as error:
+        # Unknown name: a usage error with the catalogue, not a
+        # traceback.  Only the lookup is guarded — failures inside the
+        # simulation itself must stay loud.
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.scenario_command == "describe":
+        return _cmd_describe(spec)
+    return _cmd_run(spec, seed=args.seed, as_json=args.as_json)
+
+
+def _cmd_list() -> int:
+    entries = registered_scenarios()
+    width = max(len(name) for name in entries)
+    for name, entry in entries.items():
+        spec = entry.spec()
+        members = spec.topology.member_count()
+        print(f"{name.ljust(width)}  [{members:>5d} members]  {entry.description}")
+    return 0
+
+
+def _cmd_describe(spec) -> int:
+    print(spec.to_json(indent=2))
+    print(f"digest: {spec.digest()}")
+    return 0
+
+
+def _cmd_run(spec, seed=None, as_json: bool = False) -> int:
+    if seed is not None:
+        spec = spec.with_(seed=seed)
+    built = spec.build()
+    built.run()
+    summary = built.summary()
+    if as_json:
+        print(json.dumps(summary))
+        return 0
+    print(f"== scenario {spec.name} (seed {spec.seed}) ==")
+    width = max(len(key) for key in summary)
+    for key, value in summary.items():
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        print(f"  {key.ljust(width)}  {value}")
+    return 0

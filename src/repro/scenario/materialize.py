@@ -1,0 +1,389 @@
+"""Materialize a :class:`~repro.scenario.spec.ScenarioSpec` into a run.
+
+``build_scenario`` is the single assembly point that used to be
+duplicated across every experiment, workload, test and example: it
+turns the declarative spec into a fully wired
+:class:`~repro.protocol.rrmp.RrmpSimulation` with traffic, churn,
+occupancy probes and FEC flush scheduled.
+
+Determinism contract: for a given spec the build performs the exact
+same construction steps, in the same order, with the same named RNG
+streams as the historical hand-assembled setups — so migrating an
+experiment onto specs leaves its tables byte-identical.  Build order:
+
+1. hierarchy, config, latency, transport loss, outcome, policy factory;
+2. the simulation itself;
+3. stability agents (``policy.kind == "stability"``);
+4. occupancy probes (``measurement.probe_period``);
+5. traffic (streams scheduled; probe workloads injected immediately);
+6. FEC tail flush;
+7. churn.
+
+Steps 4-before-5 matter: probe and send events that share a deadline
+fire in insertion order, and the historical experiments created their
+probes before scheduling traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.policies import (
+    BufferPolicy,
+    FixedTimePolicy,
+    NeverDiscardPolicy,
+    NoBufferPolicy,
+)
+from repro.hashing.deterministic import HashBuffererPolicy
+from repro.membership.churn import ChurnSchedule, random_churn
+from repro.metrics.occupancy import OccupancyProbe
+from repro.metrics.stats import mean
+from repro.net.ipmulticast import (
+    BernoulliOutcome,
+    FixedHolderCount,
+    MulticastOutcome,
+    RegionCorrelatedOutcome,
+)
+from repro.net.latency import HierarchicalLatency
+from repro.net.loss import GilbertElliottLoss, LossModel
+from repro.net.topology import (
+    Hierarchy,
+    NodeId,
+    balanced_tree,
+    chain,
+    single_region,
+    star,
+)
+from repro.protocol.config import FEC_OFF, RrmpConfig
+from repro.protocol.messages import DataMessage
+from repro.protocol.rrmp import RrmpSimulation
+from repro.scenario.spec import (
+    FecSpec,
+    LossSpec,
+    PolicySpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+)
+from repro.stability.detector import StabilityBufferPolicy, attach_stability
+from repro.workloads.traffic import (
+    BurstStream,
+    PoissonStream,
+    RampStream,
+    TrafficGenerator,
+    UniformStream,
+)
+
+PolicyFactory = Callable[[NodeId], BufferPolicy]
+
+
+def _build_hierarchy(topology: TopologySpec) -> Hierarchy:
+    if topology.kind == "single_region":
+        return single_region(topology.n)
+    if topology.kind == "chain":
+        return chain(list(topology.sizes))
+    if topology.kind == "star":
+        return star(topology.n, list(topology.sizes))
+    return balanced_tree(topology.depth, topology.fanout, topology.n)
+
+
+def _build_config(policy: PolicySpec, fec: FecSpec) -> RrmpConfig:
+    return RrmpConfig(
+        remote_lambda=policy.remote_lambda,
+        long_term_c=policy.c,
+        idle_threshold=policy.idle_threshold,
+        timer_factor=policy.timer_factor,
+        session_interval=policy.session_interval,
+        long_term_ttl=policy.long_term_ttl,
+        max_recovery_time=policy.max_recovery_time,
+        max_search_rounds=policy.max_search_rounds,
+        fec_mode=fec.mode,
+        fec_block_size=fec.block_size,
+        fec_parity=fec.parity,
+    )
+
+
+def _policy_factory(policy: PolicySpec) -> Optional[PolicyFactory]:
+    """``None`` selects the facade's default (two-phase from config)."""
+    if policy.kind == "two_phase":
+        return None
+    if policy.kind == "fixed_time":
+        hold = float(policy.hold_time)
+        return lambda _n: FixedTimePolicy(hold)
+    if policy.kind == "stability":
+        return lambda _n: StabilityBufferPolicy()
+    if policy.kind == "hash":
+        c = float(policy.c)
+        return lambda _n: HashBuffererPolicy(c)
+    if policy.kind == "never_discard":
+        return lambda _n: NeverDiscardPolicy()
+    return lambda _n: NoBufferPolicy()
+
+
+def _transport_loss(loss: LossSpec) -> Optional[LossModel]:
+    if loss.kind != "gilbert_elliott":
+        return None
+    return GilbertElliottLoss(
+        p_good_to_bad=loss.p_good_to_bad,
+        p_bad_to_good=loss.p_bad_to_good,
+        p_good=loss.p_good,
+        p_bad=loss.p_bad,
+    )
+
+
+def _outcome(loss: LossSpec) -> Optional[MulticastOutcome]:
+    if loss.kind == "bernoulli":
+        return BernoulliOutcome(loss.p)
+    if loss.kind == "fixed_holders":
+        return FixedHolderCount(loss.k)
+    return None  # none / gilbert_elliott -> perfect; region_correlated -> post-wire
+
+
+def _traffic_generator(
+    traffic: TrafficSpec, built: "BuiltScenario"
+) -> Optional[TrafficGenerator]:
+    if traffic.kind == "uniform":
+        return UniformStream(traffic.count, traffic.interval, start=traffic.start)
+    if traffic.kind == "poisson":
+        duration = traffic.duration
+        if duration <= 0:
+            horizon = built.spec.measurement.horizon or built.spec.measurement.duration
+            if horizon is None:
+                raise ValueError(
+                    "poisson traffic needs a duration or a measurement horizon"
+                )
+            duration = horizon - traffic.start
+        rng = built.simulation.streams.stream("scenario", "traffic")
+        return PoissonStream(traffic.rate, duration, rng, start=traffic.start)
+    if traffic.kind == "burst":
+        return BurstStream([tuple(burst) for burst in traffic.bursts])
+    if traffic.kind == "ramp":
+        return RampStream(
+            traffic.count,
+            traffic.initial_interval,
+            traffic.final_interval,
+            start=traffic.start,
+        )
+    return None
+
+
+@dataclass
+class BuiltScenario:
+    """A materialized scenario: the simulation plus everything scheduled.
+
+    Probe workloads (``detect_all``/``search_probe``) expose their cast
+    — ``data``, ``holders``, ``bufferers``, ``requester`` — so result
+    wrappers like :class:`repro.workloads.scenarios.SearchResult` can
+    compute their figures.
+    """
+
+    spec: ScenarioSpec
+    simulation: RrmpSimulation
+    traffic: Optional[TrafficGenerator] = None
+    message_count: int = 0
+    churn: Optional[ChurnSchedule] = None
+    stability_agents: List = field(default_factory=list)
+    total_probe: Optional[OccupancyProbe] = None
+    node_probe: Optional[OccupancyProbe] = None
+    data: Optional[DataMessage] = None
+    holders: List[NodeId] = field(default_factory=list)
+    bufferers: List[NodeId] = field(default_factory=list)
+    requester: Optional[NodeId] = None
+    _peak_node: float = 0.0
+
+    @property
+    def peak_node_occupancy(self) -> float:
+        """Largest single-member occupancy any probe tick observed."""
+        return self._peak_node
+
+    def run(self) -> "BuiltScenario":
+        """Advance to the measurement end, then stop probes and agents."""
+        measurement = self.spec.measurement
+        simulation = self.simulation
+        bounded = False
+        if measurement.horizon is not None:
+            simulation.run(until=measurement.horizon)
+            bounded = True
+        elif measurement.duration is not None:
+            simulation.run(duration=measurement.duration)
+            bounded = True
+        if measurement.drain or not bounded:
+            # Drain (the explicit ``drain`` flag, possibly after a bounded
+            # run, or the no-bound default): stop the session heartbeat
+            # first or the queue never empties.
+            if simulation.config.session_interval is not None:
+                simulation.sender.stop()
+            simulation.sim.drain()
+        if self.total_probe is not None:
+            self.total_probe.stop()
+        if self.node_probe is not None:
+            self.node_probe.stop()
+        for agent in self.stability_agents:
+            agent.stop()
+        return self
+
+    def summary(self) -> dict:
+        """Headline metrics of the run (the ``scenarios run`` payload)."""
+        simulation = self.simulation
+        latencies = simulation.recovery_latencies()
+        alive = simulation.alive_members()
+        delivered = simulation.delivered_fraction(self.message_count)
+        result = {
+            "scenario": self.spec.name,
+            "seed": self.spec.seed,
+            "digest": self.spec.digest(),
+            "members": len(simulation.members),
+            "alive_members": len(alive),
+            "messages": self.message_count,
+            "delivered_fraction": delivered,
+            "recoveries": len(latencies),
+            "mean_recovery_latency_ms": mean(latencies) if latencies else 0.0,
+            "reliability_violations": simulation.violation_count(),
+            "control_messages": simulation.control_message_count(),
+            "data_messages": simulation.data_message_count(),
+            "events_fired": simulation.sim.events_fired,
+            "sim_time_ms": simulation.sim.now,
+        }
+        if self.total_probe is not None:
+            result["avg_total_occupancy"] = self.total_probe.average()
+            result["peak_node_occupancy"] = self.peak_node_occupancy
+        return result
+
+
+def _inject_detect_all(built: BuiltScenario, traffic: TrafficSpec) -> None:
+    """The Figure 6/7 workload: k holders, everyone else detects at once."""
+    simulation = built.simulation
+    hierarchy = simulation.hierarchy
+    k = traffic.holders
+    if k > len(hierarchy.nodes):
+        raise ValueError(
+            f"detect_all holders must be <= group size, got k={k}, "
+            f"n={len(hierarchy.nodes)}"
+        )
+    data = DataMessage(seq=1, sender=simulation.sender.node_id)
+    rng = simulation.streams.stream("scenario", "holders")
+    holders = sorted(rng.sample(hierarchy.nodes, k))
+    holder_set = set(holders)
+    for node in hierarchy.nodes:
+        member = simulation.members[node]
+        if node in holder_set:
+            member.inject_receive(data, via="multicast")
+        else:
+            member.inject_loss_detection(data.seq)
+    built.data = data
+    built.holders = holders
+    built.message_count = 1
+
+
+def _inject_search_probe(built: BuiltScenario, traffic: TrafficSpec) -> None:
+    """The Figure 8/9 workload: b bufferers, one downstream requester."""
+    simulation = built.simulation
+    hierarchy = simulation.hierarchy
+    region_ids = sorted(hierarchy.regions)
+    if len(region_ids) < 2:
+        raise ValueError("search_probe needs at least two regions")
+    region = hierarchy.regions[region_ids[0]]
+    requester_region = hierarchy.regions[region_ids[-1]]
+    if not requester_region.members:
+        raise ValueError("search_probe requester region is empty")
+    if traffic.bufferers > region.size:
+        raise ValueError(
+            f"bufferers must be in [0, n], got {traffic.bufferers}"
+        )
+    requester = requester_region.members[0]
+    data = DataMessage(seq=1, sender=simulation.sender.node_id)
+    rng = simulation.streams.stream("scenario", "bufferers")
+    chosen = sorted(rng.sample(region.members, traffic.bufferers))
+    chosen_set = set(chosen)
+    for node in region.members:
+        member = simulation.members[node]
+        if node in chosen_set:
+            member.install_long_term(data)
+        else:
+            member.force_received(data)
+    simulation.members[requester].inject_loss_detection(data.seq)
+    built.data = data
+    built.bufferers = chosen
+    built.requester = requester
+    built.message_count = 1
+
+
+def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
+    """Materialize *spec*: simulation built, traffic and churn scheduled."""
+    hierarchy = _build_hierarchy(spec.topology)
+    config = _build_config(spec.policy, spec.fec)
+    simulation = RrmpSimulation(
+        hierarchy,
+        config=config,
+        seed=spec.seed,
+        latency=HierarchicalLatency(
+            hierarchy,
+            intra_one_way=spec.topology.intra_one_way,
+            inter_one_way=spec.topology.inter_one_way,
+        ),
+        loss=_transport_loss(spec.loss),
+        outcome=_outcome(spec.loss),
+        policy_factory=_policy_factory(spec.policy),
+        keep_trace=spec.measurement.keep_trace,
+    )
+    if spec.loss.kind == "region_correlated":
+        simulation.sender.outcome = RegionCorrelatedOutcome(
+            hierarchy,
+            region_loss=spec.loss.region_loss,
+            receiver_loss=spec.loss.receiver_loss,
+            sender=simulation.sender.node_id,
+        )
+    built = BuiltScenario(spec=spec, simulation=simulation)
+
+    if spec.policy.kind == "stability":
+        built.stability_agents = attach_stability(list(simulation.members.values()))
+
+    if spec.measurement.probe_period is not None:
+        period = spec.measurement.probe_period
+        built.total_probe = OccupancyProbe(
+            simulation.sim, simulation.buffer_occupancy, period=period
+        )
+
+        def sample_peak() -> float:
+            per_node = simulation.occupancy_by_node()
+            current = max(per_node.values()) if per_node else 0
+            built._peak_node = max(built._peak_node, float(current))
+            return float(current)
+
+        built.node_probe = OccupancyProbe(simulation.sim, sample_peak, period=period)
+
+    if spec.traffic.kind == "detect_all":
+        _inject_detect_all(built, spec.traffic)
+    elif spec.traffic.kind == "search_probe":
+        _inject_search_probe(built, spec.traffic)
+    else:
+        generator = _traffic_generator(spec.traffic, built)
+        if generator is not None:
+            built.traffic = generator
+            built.message_count = generator.schedule(simulation)
+
+    if config.fec_mode != FEC_OFF and spec.fec.flush_after is not None:
+        if built.traffic is not None and built.message_count > 0:
+            simulation.sim.at(
+                built.traffic.end_time() + spec.fec.flush_after,
+                simulation.sender.flush_parity,
+            )
+
+    if spec.churn.kind == "random":
+        duration = spec.churn.duration
+        if duration <= 0:
+            duration = spec.measurement.horizon or spec.measurement.duration
+            if duration is None:
+                raise ValueError("random churn needs a duration or a horizon")
+        protect = [simulation.sender.node_id] if spec.churn.protect_sender else []
+        built.churn = random_churn(
+            simulation,
+            simulation.streams.stream("scenario", "churn"),
+            duration=duration,
+            leave_rate=spec.churn.leave_rate,
+            crash_rate=spec.churn.crash_rate,
+            join_rate=spec.churn.join_rate,
+            protect=protect,
+        )
+    return built

@@ -1,0 +1,105 @@
+"""Named-scenario registry.
+
+``@register_scenario`` turns a zero-argument spec factory into a named,
+discoverable scenario: the ``scenarios`` CLI lists/describes/runs it,
+tests iterate it, and the sweep runner can cache on its digest.  The
+factory is re-invoked per lookup so callers always get a fresh,
+immutable :class:`~repro.scenario.spec.ScenarioSpec` (safe to
+``replace`` seeds or knobs without aliasing).
+
+Usage::
+
+    @register_scenario("wan_burst_loss", description="bursty WAN links")
+    def wan_burst_loss() -> ScenarioSpec:
+        return scenario("wan_burst_loss").chain(20, 20).gilbert_elliott().spec()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.scenario.builder import ScenarioBuilder
+from repro.scenario.spec import ScenarioSpec
+
+SpecFactory = Callable[[], Union[ScenarioSpec, ScenarioBuilder]]
+
+
+@dataclass(frozen=True)
+class RegisteredScenario:
+    """One named entry: its factory plus catalogue metadata."""
+
+    name: str
+    description: str
+    factory: SpecFactory
+
+    def spec(self) -> ScenarioSpec:
+        """A fresh spec carrying the registered name/description."""
+        produced = self.factory()
+        if isinstance(produced, ScenarioBuilder):
+            produced = produced.spec()
+        if not isinstance(produced, ScenarioSpec):
+            raise TypeError(
+                f"scenario factory {self.name!r} returned {type(produced).__name__}, "
+                "expected ScenarioSpec or ScenarioBuilder"
+            )
+        changes = {}
+        if produced.name != self.name:
+            changes["name"] = self.name
+        if self.description and not produced.description:
+            changes["description"] = self.description
+        return replace(produced, **changes) if changes else produced
+
+
+_REGISTRY: Dict[str, RegisteredScenario] = {}
+
+
+def register_scenario(
+    name: Optional[str] = None, description: str = ""
+) -> Callable[[SpecFactory], SpecFactory]:
+    """Decorator registering a spec factory under *name* (default: the
+    function's name)."""
+
+    def decorate(factory: SpecFactory) -> SpecFactory:
+        scenario_name = name if name is not None else factory.__name__
+        if scenario_name in _REGISTRY:
+            raise ValueError(f"scenario {scenario_name!r} already registered")
+        doc = description
+        if not doc:
+            lines = (factory.__doc__ or "").strip().splitlines()
+            doc = lines[0] if lines else ""
+        _REGISTRY[scenario_name] = RegisteredScenario(
+            name=scenario_name, description=doc, factory=factory
+        )
+        return factory
+
+    return decorate
+
+
+def _ensure_library() -> None:
+    """The built-in scenario library registers itself on import; pull it
+    in lazily so registry lookups never depend on import order."""
+    import repro.scenario.library  # noqa: F401
+
+
+def scenario_names() -> List[str]:
+    """All registered names, in registration order."""
+    _ensure_library()
+    return list(_REGISTRY)
+
+
+def registered_scenarios() -> Dict[str, RegisteredScenario]:
+    """A snapshot of the registry (name → entry)."""
+    _ensure_library()
+    return dict(_REGISTRY)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """A fresh spec for *name*; raises ``KeyError`` with the catalogue."""
+    _ensure_library()
+    try:
+        entry = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY) or "<none>"
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") from None
+    return entry.spec()

@@ -1,0 +1,403 @@
+"""Declarative, serializable scenario specifications.
+
+The paper's results are all products of one implicit tuple —
+topology × traffic × loss × churn × buffer policy — which the rest of
+the repository used to assemble by hand at every call site.
+:class:`ScenarioSpec` makes that tuple a first-class value: a frozen
+dataclass tree that
+
+* round-trips losslessly through JSON (:meth:`ScenarioSpec.to_json` /
+  :meth:`ScenarioSpec.from_json`) and pickle, so the sweep runner's
+  process-pool backend can ship specs to workers and its result cache
+  can key on them;
+* has a stable :meth:`ScenarioSpec.digest` (SHA-256 of the canonical
+  JSON form) that is identical across process restarts and platforms;
+* materializes into a fully wired
+  :class:`~repro.protocol.rrmp.RrmpSimulation` plus scheduled traffic
+  and churn via :meth:`ScenarioSpec.build` (see
+  :mod:`repro.scenario.materialize`).
+
+Every sub-spec is a plain frozen dataclass discriminated by a ``kind``
+string, so adding a new topology/traffic/loss family is one enum value
+plus one materializer branch — not a new experiment module.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
+
+TOPOLOGY_KINDS = ("single_region", "chain", "star", "balanced_tree")
+TRAFFIC_KINDS = (
+    "none", "uniform", "poisson", "burst", "ramp", "detect_all", "search_probe",
+)
+LOSS_KINDS = (
+    "none", "bernoulli", "fixed_holders", "region_correlated", "gilbert_elliott",
+)
+CHURN_KINDS = ("none", "random")
+POLICY_KINDS = (
+    "two_phase", "fixed_time", "stability", "hash", "never_discard", "no_buffer",
+)
+
+_S = TypeVar("_S")
+
+
+def _require_kind(kind: str, allowed: Tuple[str, ...], what: str) -> None:
+    if kind not in allowed:
+        raise ValueError(f"{what} kind must be one of {allowed}, got {kind!r}")
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Where the receivers are and how far apart (regions + latency).
+
+    ``kind`` selects a :mod:`repro.net.topology` builder:
+
+    * ``single_region`` — one region of ``n`` members (§4's setting);
+    * ``chain`` — regions in a line with sizes ``sizes`` (Figure 1);
+    * ``star`` — a root region of ``n`` members with one child region
+      per entry of ``sizes``;
+    * ``balanced_tree`` — ``depth`` levels of ``fanout`` children,
+      ``n`` members per region.
+
+    Latency rides along (one-way ms): ``intra_one_way`` within a
+    region, ``inter_one_way`` per region hop — the paper's 10 ms
+    intra-region RTT is the default.
+    """
+
+    kind: str = "single_region"
+    n: int = 100
+    sizes: Tuple[int, ...] = ()
+    depth: int = 1
+    fanout: int = 2
+    intra_one_way: float = 5.0
+    inter_one_way: float = 40.0
+
+    def __post_init__(self) -> None:
+        _require_kind(self.kind, TOPOLOGY_KINDS, "topology")
+        if self.kind in ("single_region", "star", "balanced_tree") and self.n < 1:
+            raise ValueError(f"topology n must be >= 1, got {self.n}")
+        if self.kind == "chain" and not self.sizes:
+            raise ValueError("chain topology requires non-empty sizes")
+        if any(size < 1 for size in self.sizes):
+            raise ValueError(f"region sizes must be >= 1, got {self.sizes}")
+        if self.intra_one_way < 0 or self.inter_one_way < 0:
+            raise ValueError("latencies must be >= 0")
+
+    def member_count(self) -> int:
+        """Total receivers the topology will contain."""
+        if self.kind == "single_region":
+            return self.n
+        if self.kind == "chain":
+            return sum(self.sizes)
+        if self.kind == "star":
+            return self.n + sum(self.sizes)
+        regions = sum(self.fanout ** level for level in range(self.depth + 1))
+        return self.n * regions
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """What the sender (or the workload injector) does over time.
+
+    Stream kinds schedule multicasts through the sender:
+
+    * ``uniform`` — ``count`` messages every ``interval`` ms from
+      ``start``;
+    * ``poisson`` — a Poisson process of ``rate`` msgs/ms over
+      ``duration`` ms (0 = until the measurement horizon);
+    * ``burst`` — explicit ``(time, size)`` bursts;
+    * ``ramp`` — ``count`` messages whose inter-send gap shrinks
+      linearly from ``initial_interval`` to ``final_interval``
+      (overload-onset workloads).
+
+    Probe kinds reproduce the paper's §4 single-message setups:
+
+    * ``detect_all`` — one message held by ``holders`` random members;
+      every other member detects the loss simultaneously (Figures 6/7);
+    * ``search_probe`` — one message every root-region member received
+      and exactly ``bufferers`` of them still buffer; a downstream
+      member's remote request must find a bufferer (Figures 8/9).
+    """
+
+    kind: str = "none"
+    count: int = 0
+    interval: float = 25.0
+    start: float = 0.0
+    rate: float = 1.0
+    duration: float = 0.0
+    bursts: Tuple[Tuple[float, int], ...] = ()
+    initial_interval: float = 50.0
+    final_interval: float = 5.0
+    holders: int = 1
+    bufferers: int = 1
+
+    def __post_init__(self) -> None:
+        _require_kind(self.kind, TRAFFIC_KINDS, "traffic")
+        if self.kind in ("uniform", "ramp") and self.count < 0:
+            raise ValueError(f"traffic count must be >= 0, got {self.count}")
+        if self.kind == "uniform" and self.interval <= 0:
+            raise ValueError(f"traffic interval must be > 0, got {self.interval!r}")
+        if self.kind == "poisson" and self.rate <= 0:
+            raise ValueError(f"traffic rate must be > 0, got {self.rate!r}")
+        if self.kind == "ramp" and (
+            self.initial_interval <= 0 or self.final_interval <= 0
+        ):
+            raise ValueError("ramp intervals must be > 0")
+        if self.kind == "detect_all" and self.holders < 1:
+            raise ValueError(f"detect_all requires holders >= 1, got {self.holders}")
+        if self.kind == "search_probe" and self.bufferers < 0:
+            raise ValueError(f"bufferers must be >= 0, got {self.bufferers}")
+
+
+@dataclass(frozen=True)
+class LossSpec:
+    """Where messages get lost.
+
+    * ``bernoulli`` — each receiver independently misses a multicast
+      with probability ``p`` (the paper's §4 model, applied at
+      IP-multicast time);
+    * ``fixed_holders`` — exactly ``k`` random receivers get each
+      multicast;
+    * ``region_correlated`` — whole regions miss a message with
+      ``region_loss``; survivors additionally lose independently with
+      ``receiver_loss``;
+    * ``gilbert_elliott`` — a two-state (good/bad) Markov channel per
+      directed link, applied to every data packet in the transport
+      (initial multicast *and* repairs): bursty wireless-style loss.
+    """
+
+    kind: str = "none"
+    p: float = 0.0
+    k: int = 0
+    region_loss: float = 0.0
+    receiver_loss: float = 0.0
+    p_good_to_bad: float = 0.01
+    p_bad_to_good: float = 0.3
+    p_good: float = 0.0
+    p_bad: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require_kind(self.kind, LOSS_KINDS, "loss")
+        for name in ("p", "region_loss", "receiver_loss",
+                     "p_good_to_bad", "p_bad_to_good", "p_good", "p_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"loss {name} must be in [0, 1], got {value!r}")
+        if self.kind == "fixed_holders" and self.k < 0:
+            raise ValueError(f"loss k must be >= 0, got {self.k}")
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Membership dynamics: Poisson leave/crash/join over a window.
+
+    Rates are events per millisecond over ``[0, duration]`` (0 =
+    until the measurement horizon).  ``protect_sender`` keeps the
+    sender alive — without it a crashed sender ends the session.
+    """
+
+    kind: str = "none"
+    leave_rate: float = 0.0
+    crash_rate: float = 0.0
+    join_rate: float = 0.0
+    duration: float = 0.0
+    protect_sender: bool = True
+
+    def __post_init__(self) -> None:
+        _require_kind(self.kind, CHURN_KINDS, "churn")
+        for name in ("leave_rate", "crash_rate", "join_rate"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"churn {name} must be >= 0")
+        if self.duration < 0:
+            raise ValueError(f"churn duration must be >= 0, got {self.duration!r}")
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Buffer policy plus the protocol knobs of :class:`RrmpConfig`.
+
+    ``kind`` selects the buffer-management family:
+
+    * ``two_phase`` — the paper's contribution (short-term feedback
+      phase + randomized long-term selection), parameterized by ``c``
+      (expected long-term bufferers), ``idle_threshold`` (T) and
+      ``long_term_ttl``;
+    * ``fixed_time`` — Bimodal-Multicast-style hold for ``hold_time``;
+    * ``stability`` — gossip stability detection (discard only when
+      globally stable);
+    * ``hash`` — the authors' NGC'99 deterministic hash selection with
+      expected copy count ``c``;
+    * ``never_discard`` / ``no_buffer`` — the §1 strawmen.
+
+    The remaining fields mirror :class:`RrmpConfig` so one spec pins
+    every protocol tunable an experiment varies.
+    """
+
+    kind: str = "two_phase"
+    c: float = 6.0
+    idle_threshold: float = 40.0
+    long_term_ttl: Optional[float] = None
+    hold_time: float = 200.0
+    remote_lambda: float = 1.0
+    session_interval: Optional[float] = 50.0
+    timer_factor: float = 1.0
+    max_recovery_time: Optional[float] = None
+    max_search_rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require_kind(self.kind, POLICY_KINDS, "policy")
+        # Range validation is delegated to RrmpConfig at build time;
+        # only policy-family fields are checked here.
+        if self.c < 0:
+            raise ValueError(f"policy c must be >= 0, got {self.c!r}")
+        if self.hold_time <= 0:
+            raise ValueError(f"hold_time must be > 0, got {self.hold_time!r}")
+
+
+@dataclass(frozen=True)
+class FecSpec:
+    """Erasure-coded repair (see :mod:`repro.fec`).
+
+    ``flush_after`` schedules a tail-block parity flush that many ms
+    after the traffic stream ends (``None`` = never flush).
+    """
+
+    mode: str = "off"
+    block_size: int = 8
+    parity: int = 1
+    flush_after: Optional[float] = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("off", "proactive", "reactive"):
+            raise ValueError(f"fec mode must be off/proactive/reactive, got {self.mode!r}")
+        if self.flush_after is not None and self.flush_after < 0:
+            raise ValueError("flush_after must be >= 0 or None")
+
+
+@dataclass(frozen=True)
+class MeasurementSpec:
+    """How long to run and what to record.
+
+    ``horizon`` runs until that absolute time; otherwise ``duration``
+    runs for that long; with neither, the run drains the event queue.
+    ``drain=True`` additionally drains *after* a bounded run (letting
+    in-flight recovery settle); sessions are stopped before draining so
+    the queue can empty.  ``probe_period`` turns on the occupancy
+    probes (total and per-node peak) every that many ms.
+    """
+
+    horizon: Optional[float] = None
+    duration: Optional[float] = None
+    drain: bool = False
+    probe_period: Optional[float] = None
+    keep_trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.horizon is not None and self.horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {self.horizon!r}")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError(f"duration must be > 0, got {self.duration!r}")
+        if self.probe_period is not None and self.probe_period <= 0:
+            raise ValueError(f"probe_period must be > 0, got {self.probe_period!r}")
+
+
+def _from_payload(cls: Type[_S], payload: Mapping[str, Any], what: str) -> _S:
+    known = {spec_field.name for spec_field in fields(cls)}  # type: ignore[arg-type]
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ValueError(f"unknown {what} fields: {', '.join(unknown)}")
+    return cls(**{key: _tupled(value) for key, value in payload.items()})
+
+
+def _tupled(value: Any) -> Any:
+    """JSON arrays come back as lists; specs store tuples."""
+    if isinstance(value, list):
+        return tuple(_tupled(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """The complete declarative description of one simulation run."""
+
+    name: str = "scenario"
+    seed: int = 0
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    loss: LossSpec = field(default_factory=LossSpec)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    fec: FecSpec = field(default_factory=FecSpec)
+    measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
+    description: str = ""
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready plain-dict form."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict` (lists revert to tuples)."""
+        sub_specs = {
+            "topology": TopologySpec,
+            "traffic": TrafficSpec,
+            "loss": LossSpec,
+            "churn": ChurnSpec,
+            "policy": PolicySpec,
+            "fec": FecSpec,
+            "measurement": MeasurementSpec,
+        }
+        kwargs: Dict[str, Any] = {}
+        for key, value in payload.items():
+            if key in sub_specs:
+                kwargs[key] = _from_payload(sub_specs[key], value, key)
+            elif key in ("name", "seed", "description"):
+                kwargs[key] = value
+            else:
+                raise ValueError(f"unknown scenario field: {key!r}")
+        return cls(**kwargs)
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Lossless JSON serialization."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Inverse of :meth:`to_json`; ``from_json(to_json(s)) == s``."""
+        return cls.from_dict(json.loads(text))
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON form — stable across process
+        restarts, platforms and Python versions, so sweep caches and
+        result artifacts can key on it."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def with_(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with top-level fields replaced (``seed=...`` etc.)."""
+        return replace(self, **changes)
+
+    def build(self):
+        """Materialize into a :class:`repro.scenario.materialize.BuiltScenario`.
+
+        Constructs the :class:`~repro.protocol.rrmp.RrmpSimulation`,
+        attaches probes, and schedules traffic and churn.  Imported
+        lazily to keep this module dependency-free (specs must stay
+        picklable and cheap to import in worker processes).
+        """
+        from repro.scenario.materialize import build_scenario
+
+        return build_scenario(self)
+
+    def run(self):
+        """Build and run to the measurement end; returns the built scenario."""
+        return self.build().run()

@@ -2,13 +2,16 @@
 
 from repro.workloads.scenarios import (
     InitialHoldersResult,
+    ScaleResult,
     SearchResult,
     run_initial_holders,
+    run_scale,
     run_search,
 )
 from repro.workloads.traffic import (
     BurstStream,
     PoissonStream,
+    RampStream,
     TrafficGenerator,
     UniformStream,
 )
@@ -17,9 +20,12 @@ __all__ = [
     "BurstStream",
     "InitialHoldersResult",
     "PoissonStream",
+    "RampStream",
+    "ScaleResult",
     "SearchResult",
     "TrafficGenerator",
     "UniformStream",
     "run_initial_holders",
+    "run_scale",
     "run_search",
 ]

@@ -16,24 +16,24 @@ Two families:
   two-phase buffering end to end.  Used by the engine benchmarks to
   show optimizations at scale rather than on toy runs.
 
-All return small result objects carrying the simulation plus the
-measurements the figures plot, so experiments and tests share one
-code path.
+Each workload is now a declarative
+:class:`~repro.scenario.spec.ScenarioSpec` (built by the factories in
+:mod:`repro.scenario.library`, where the same specs are registered as
+the named scenarios ``initial_holders``/``search``/``scale``); the
+``run_*`` helpers here materialize the spec and wrap the run in a
+small result object carrying the measurements the figures plot, so
+experiments and tests share one code path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import List, Optional
 
 from repro.core.buffer import DISCARD_IDLE
-from repro.net.ipmulticast import BernoulliOutcome
-from repro.net.latency import ConstantLatency, HierarchicalLatency
-from repro.net.topology import NodeId, chain, single_region, star
-from repro.protocol.config import RrmpConfig
+from repro.net.topology import NodeId
 from repro.protocol.messages import DataMessage
 from repro.protocol.rrmp import RrmpSimulation
-from repro.workloads.traffic import UniformStream
 
 
 @dataclass
@@ -88,39 +88,20 @@ def run_initial_holders(
     buffering exists to fix.  Such a receiver gives up after this
     deadline and a ``reliability_violation`` is recorded (§5).
     """
-    if not 1 <= k <= n:
-        raise ValueError(f"k must be in [1, n], got k={k}, n={n}")
-    hierarchy = single_region(n)
-    config = RrmpConfig(
-        idle_threshold=idle_threshold,
-        long_term_c=long_term_c,
-        session_interval=None,
+    from repro.scenario.library import initial_holders_spec
+
+    spec = initial_holders_spec(
+        n, k, seed=seed, idle_threshold=idle_threshold,
+        long_term_c=long_term_c, rtt=rtt, run_for=run_for,
         max_recovery_time=max_recovery_time,
     )
-    simulation = RrmpSimulation(
-        hierarchy,
-        config=config,
-        seed=seed,
-        latency=ConstantLatency(rtt / 2.0),
+    # With long_term_c == 0 and sessions off, draining terminates once
+    # recovery finishes and every idle timer fires.
+    built = spec.run()
+    assert built.data is not None
+    return InitialHoldersResult(
+        simulation=built.simulation, data=built.data, holders=built.holders
     )
-    sender = simulation.sender.node_id
-    data = DataMessage(seq=1, sender=sender)
-    rng = simulation.streams.stream("scenario", "holders")
-    holders = sorted(rng.sample(hierarchy.nodes, k))
-    holder_set: Set[NodeId] = set(holders)
-    for node in hierarchy.nodes:
-        member = simulation.members[node]
-        if node in holder_set:
-            member.inject_receive(data, via="multicast")
-        else:
-            member.inject_loss_detection(data.seq)
-    if run_for is None:
-        # With long_term_c == 0 and sessions off, the event queue drains
-        # once recovery finishes and every idle timer fires.
-        simulation.sim.drain()
-    else:
-        simulation.run(duration=run_for)
-    return InitialHoldersResult(simulation=simulation, data=data, holders=holders)
 
 
 @dataclass
@@ -175,34 +156,17 @@ def run_search(
     (2 × 500 ms) cannot fire a second request inside the measurement
     window, matching the paper's single-request setup.
     """
-    if not 0 <= bufferers <= n:
-        raise ValueError(f"bufferers must be in [0, n], got {bufferers}")
-    hierarchy = chain([n, 1])
-    config = RrmpConfig(session_interval=None, remote_lambda=1.0)
-    simulation = RrmpSimulation(
-        hierarchy,
-        config=config,
-        seed=seed,
-        latency=HierarchicalLatency(
-            hierarchy, intra_one_way=intra_one_way, inter_one_way=inter_one_way
-        ),
+    from repro.scenario.library import search_spec
+
+    spec = search_spec(
+        n, bufferers, seed=seed, intra_one_way=intra_one_way,
+        inter_one_way=inter_one_way, horizon=horizon,
     )
-    region = hierarchy.regions[0]
-    requester = hierarchy.regions[1].members[0]
-    data = DataMessage(seq=1, sender=simulation.sender.node_id)
-    rng = simulation.streams.stream("scenario", "bufferers")
-    chosen = sorted(rng.sample(region.members, bufferers))
-    chosen_set = set(chosen)
-    for node in region.members:
-        member = simulation.members[node]
-        if node in chosen_set:
-            member.install_long_term(data)
-        else:
-            member.force_received(data)
     # The downstream member detects the loss at t = 0; its remote phase
     # fires the single remote request into the region.
-    simulation.members[requester].inject_loss_detection(data.seq)
-    simulation.run(duration=horizon)
+    built = spec.run()
+    simulation = built.simulation
+    assert built.data is not None and built.requester is not None
 
     arrival = simulation.trace.first("remote_request_received")
     served = None
@@ -211,9 +175,9 @@ def run_search(
         break
     return SearchResult(
         simulation=simulation,
-        data=data,
-        bufferers=chosen,
-        requester=requester,
+        data=built.data,
+        bufferers=built.bufferers,
+        requester=built.requester,
         request_arrival=arrival.time if arrival is not None else None,
         served_at=served.time if served is not None else None,
         served_via=served.get("via") if served is not None else None,
@@ -231,16 +195,7 @@ class ScaleResult:
 
     def delivered_fraction(self) -> float:
         """Fraction of (member, message) pairs eventually delivered."""
-        members = self.simulation.alive_members()
-        if not members or self.message_count == 0:
-            return 1.0
-        delivered = sum(
-            1
-            for member in members
-            for seq in range(1, self.message_count + 1)
-            if member.has_received(seq)
-        )
-        return delivered / (len(members) * self.message_count)
+        return self.simulation.delivered_fraction(self.message_count)
 
     @property
     def violations(self) -> int:
@@ -276,27 +231,18 @@ def run_scale(
     optimizations target (event dispatch, timer push-back churn,
     buffer decisions, packet dispatch, multicast fan-out) at scale.
     """
-    if regions < 1:
-        raise ValueError(f"regions must be >= 1, got {regions}")
-    if max_recovery_time >= horizon:
-        raise ValueError(
-            "max_recovery_time must be shorter than the horizon, or give-ups "
-            f"can never be observed (got {max_recovery_time} >= {horizon})"
-        )
-    hierarchy = star(members_per_region, [members_per_region] * (regions - 1))
-    config = RrmpConfig(max_recovery_time=max_recovery_time)
-    simulation = RrmpSimulation(
-        hierarchy,
-        config=config,
-        seed=seed,
-        latency=HierarchicalLatency(
-            hierarchy, intra_one_way=intra_one_way, inter_one_way=inter_one_way
-        ),
-        outcome=BernoulliOutcome(loss_rate),
+    from repro.scenario.library import scale_spec
+
+    spec = scale_spec(
+        regions=regions, members_per_region=members_per_region,
+        messages=messages, send_interval=send_interval, loss_rate=loss_rate,
+        seed=seed, intra_one_way=intra_one_way, inter_one_way=inter_one_way,
+        horizon=horizon, max_recovery_time=max_recovery_time,
     )
+    built = spec.build()
+    simulation = built.simulation
     events_before = simulation.sim.events_fired
-    UniformStream(messages, send_interval, start=1.0).schedule(simulation)
-    simulation.run(duration=horizon)
+    built.run()
     return ScaleResult(
         simulation=simulation,
         message_count=messages,

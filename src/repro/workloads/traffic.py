@@ -29,6 +29,12 @@ class TrafficGenerator(ABC):
             simulation.sim.at(t, simulation.sender.multicast)
         return len(times)
 
+    def end_time(self) -> float:
+        """When the stream is over (used to place tail work such as the
+        FEC parity flush).  Default: the last send instant."""
+        times = self.send_times()
+        return times[-1] if times else 0.0
+
 
 class UniformStream(TrafficGenerator):
     """*count* messages at a fixed *interval*, starting at *start*."""
@@ -44,6 +50,9 @@ class UniformStream(TrafficGenerator):
 
     def send_times(self) -> List[float]:
         return [self.start + i * self.interval for i in range(self.count)]
+
+    def end_time(self) -> float:
+        return self.start + self.count * self.interval
 
 
 class PoissonStream(TrafficGenerator):
@@ -68,6 +77,67 @@ class PoissonStream(TrafficGenerator):
             if t >= self.start + self.duration:
                 return times
             times.append(t)
+
+    def end_time(self) -> float:
+        return self.start + self.duration
+
+
+class RampStream(TrafficGenerator):
+    """*count* messages whose inter-send gap shrinks linearly from
+    *initial_interval* down to *final_interval* — the send rate ramps
+    up over the stream, modelling overload onset (the load under which
+    feedback-based buffering must keep serving requests while the
+    request arrival rate keeps climbing).
+
+    The ``count - 1`` gaps interpolate the two intervals inclusively:
+    the first gap is exactly *initial_interval*, the last exactly
+    *final_interval* (with a single gap — ``count == 2`` — the ramp
+    degenerates to just *initial_interval*).
+    """
+
+    def __init__(
+        self,
+        count: int,
+        initial_interval: float,
+        final_interval: float,
+        start: float = 0.0,
+    ) -> None:
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if initial_interval <= 0 or final_interval <= 0:
+            raise ValueError(
+                f"intervals must be > 0, got {initial_interval!r}, {final_interval!r}"
+            )
+        self.count = count
+        self.initial_interval = initial_interval
+        self.final_interval = final_interval
+        self.start = start
+
+    def _gaps(self) -> List[float]:
+        gaps = self.count - 1
+        if gaps <= 0:
+            return []
+        if gaps == 1:
+            return [self.initial_interval]
+        span = self.final_interval - self.initial_interval
+        return [
+            self.initial_interval + span * (index / (gaps - 1))
+            for index in range(gaps)
+        ]
+
+    def send_times(self) -> List[float]:
+        if self.count == 0:
+            return []
+        times: List[float] = []
+        t = self.start
+        for gap in [0.0] + self._gaps():
+            t += gap
+            times.append(t)
+        return times
+
+    def end_time(self) -> float:
+        times = self.send_times()
+        return (times[-1] + self.final_interval) if times else self.start
 
 
 class BurstStream(TrafficGenerator):

@@ -47,6 +47,32 @@ class TestParamParsing:
     def test_strings_fall_back(self):
         assert parse_param("mode=fast") == ("mode", "fast")
 
+    def test_lowercase_booleans_coerce(self):
+        """``--param fec=true`` must arrive as True, not "true"."""
+        assert parse_param("fec=true") == ("fec", True)
+        assert parse_param("fec=false") == ("fec", False)
+        assert parse_param("fec=TRUE") == ("fec", True)
+        assert parse_param("fec=False") == ("fec", False)  # literal path
+
+    def test_none_and_null_coerce(self):
+        assert parse_param("ttl=none") == ("ttl", None)
+        assert parse_param("ttl=null") == ("ttl", None)
+        assert parse_param("ttl=None") == ("ttl", None)  # literal path
+
+    def test_scientific_notation_floats(self):
+        assert parse_param("rate=1e-3") == ("rate", 0.001)
+        assert parse_param("rate=2.5E2") == ("rate", 250.0)
+        assert parse_param("rate=inf") == ("rate", float("inf"))
+        key, value = parse_param("rate=nan")
+        assert key == "rate" and value != value
+
+    def test_whitespace_stripped(self):
+        assert parse_param(" seeds = 10 ") == ("seeds", 10)
+
+    def test_word_strings_still_pass_through(self):
+        assert parse_param("mode=truely") == ("mode", "truely")
+        assert parse_param("mode=nonesuch") == ("mode", "nonesuch")
+
     def test_missing_equals_rejected(self):
         import argparse
         with pytest.raises(argparse.ArgumentTypeError):

@@ -120,6 +120,19 @@ class TestGilbertElliott:
         marginal = losses / len(outcomes)
         assert conditional > marginal * 2
 
+    def test_deterministic_under_a_fixed_seed(self):
+        """Two models fed equally-seeded RNGs produce the identical
+        drop sequence — the property scenario digests/caches rely on."""
+        def sequence(seed):
+            model = GilbertElliottLoss(
+                p_good_to_bad=0.1, p_bad_to_good=0.3, p_good=0.05, p_bad=0.9
+            )
+            stream = random.Random(seed)
+            return [model.is_lost(0, 1, "data", stream) for _ in range(300)]
+
+        assert sequence(1234) == sequence(1234)
+        assert sequence(1234) != sequence(4321)
+
     def test_links_have_independent_state(self, rng):
         model = GilbertElliottLoss(p_good_to_bad=1.0, p_bad_to_good=0.0,
                                    p_good=0.0, p_bad=1.0)

@@ -1,0 +1,122 @@
+"""Registry and ``scenarios`` CLI subcommand tests."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.scenario.registry import (
+    get_scenario,
+    register_scenario,
+    registered_scenarios,
+    scenario_names,
+)
+from repro.scenario.spec import ScenarioSpec
+
+
+class TestRegistry:
+    def test_at_least_six_scenarios_registered(self):
+        assert len(scenario_names()) >= 6
+
+    def test_canned_workloads_are_registered(self):
+        names = scenario_names()
+        for name in ("initial_holders", "search", "scale"):
+            assert name in names
+
+    def test_new_scenario_families_are_registered(self):
+        """The API unlocks burst-loss and ramp workloads as data."""
+        specs = {name: get_scenario(name) for name in scenario_names()}
+        kinds = {spec.loss.kind for spec in specs.values()}
+        assert "gilbert_elliott" in kinds
+        traffic = {spec.traffic.kind for spec in specs.values()}
+        assert "ramp" in traffic
+
+    def test_every_entry_has_description(self):
+        for entry in registered_scenarios().values():
+            assert entry.description
+
+    def test_get_scenario_returns_fresh_values(self):
+        a = get_scenario("scale")
+        b = get_scenario("scale")
+        assert a == b and a is not b
+
+    def test_unknown_name_lists_catalogue(self):
+        with pytest.raises(KeyError, match="scale"):
+            get_scenario("nope")
+
+    def test_registering_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+
+            @register_scenario("scale")
+            def _dup() -> ScenarioSpec:  # pragma: no cover
+                return ScenarioSpec()
+
+    def test_factory_returning_wrong_type_rejected(self):
+        @register_scenario("bogus-factory-test")
+        def _bogus():
+            return 42
+
+        try:
+            with pytest.raises(TypeError, match="expected ScenarioSpec"):
+                get_scenario("bogus-factory-test")
+        finally:
+            from repro.scenario import registry
+
+            registry._REGISTRY.pop("bogus-factory-test", None)
+
+    def test_every_spec_materializes(self):
+        """Each registered spec builds a simulation (without running)."""
+        for name in scenario_names():
+            built = get_scenario(name).build()
+            assert built.simulation.members, name
+
+
+class TestScenariosCli:
+    def test_list_renders_every_registered_spec(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        output = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in output
+
+    def test_describe_prints_loadable_json_and_digest(self, capsys):
+        assert main(["scenarios", "describe", "overload_onset"]) == 0
+        output = capsys.readouterr().out
+        body, digest_line = output.rsplit("digest:", 1)
+        spec = ScenarioSpec.from_json(body)
+        assert spec == get_scenario("overload_onset")
+        assert digest_line.strip() == spec.digest()
+
+    def test_run_json_emits_summary_object(self, capsys):
+        assert main(["scenarios", "run", "initial_holders", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["scenario"] == "initial_holders"
+        assert summary["members"] == 100
+        assert summary["delivered_fraction"] == 1.0
+
+    def test_run_text_mode_and_seed_override(self, capsys):
+        assert main(["scenarios", "run", "search", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "scenario search (seed 3)" in output
+        assert "events_fired" in output
+
+    def test_run_gilbert_elliott_scenario(self, capsys):
+        """Acceptance: the burst-loss scenario runs end to end."""
+        assert main(["scenarios", "run", "wan_burst_loss", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["messages"] == 30
+        assert summary["delivered_fraction"] > 0.9
+
+    def test_run_ramp_scenario(self, capsys):
+        """Acceptance: the RampStream scenario runs end to end."""
+        assert main(["scenarios", "run", "overload_onset", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["messages"] == 40
+        assert summary["delivered_fraction"] > 0.9
+
+    def test_unknown_scenario_is_a_usage_error_not_a_traceback(self, capsys):
+        assert main(["scenarios", "run", "not-a-scenario"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown scenario" in captured.err
+        assert "scale" in captured.err  # catalogue included as a hint
+        assert main(["scenarios", "describe", "not-a-scenario"]) == 2
+        capsys.readouterr()

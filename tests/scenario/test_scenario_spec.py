@@ -1,0 +1,172 @@
+"""Serialization tests for the scenario spec tree.
+
+The tentpole guarantees: JSON round-trip equality for every spec
+(including all registered named scenarios), digest stability across
+process restarts, and pickle round trips (the process-pool backend
+ships specs to workers by pickle).
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.scenario.registry import get_scenario, scenario_names
+from repro.scenario.spec import (
+    ChurnSpec,
+    FecSpec,
+    LossSpec,
+    MeasurementSpec,
+    PolicySpec,
+    ScenarioSpec,
+    TopologySpec,
+    TrafficSpec,
+)
+
+
+def _custom_spec() -> ScenarioSpec:
+    """A spec exercising every sub-spec with non-default values."""
+    return ScenarioSpec(
+        name="custom",
+        seed=17,
+        description="kitchen sink",
+        topology=TopologySpec(kind="chain", sizes=(40, 10, 5),
+                              intra_one_way=2.5, inter_one_way=120.0),
+        traffic=TrafficSpec(kind="burst", bursts=((10.0, 3), (50.0, 2))),
+        loss=LossSpec(kind="gilbert_elliott", p_good_to_bad=0.02,
+                      p_bad_to_good=0.4, p_bad=0.9),
+        churn=ChurnSpec(kind="random", leave_rate=0.01, join_rate=0.02,
+                        duration=300.0),
+        policy=PolicySpec(kind="fixed_time", hold_time=500.0,
+                          session_interval=None, max_recovery_time=1_000.0),
+        fec=FecSpec(mode="proactive", block_size=4, parity=2),
+        measurement=MeasurementSpec(horizon=2_000.0, probe_period=25.0),
+    )
+
+
+class TestJsonRoundTrip:
+    def test_default_spec_round_trips(self):
+        spec = ScenarioSpec()
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_kitchen_sink_round_trips(self):
+        spec = _custom_spec()
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        # Tuples must come back as tuples, not lists, for equality and
+        # hashing downstream.
+        assert restored.topology.sizes == (40, 10, 5)
+        assert restored.traffic.bursts == ((10.0, 3), (50.0, 2))
+
+    def test_every_registered_scenario_round_trips(self):
+        names = scenario_names()
+        assert len(names) >= 6
+        for name in names:
+            spec = get_scenario(name)
+            assert ScenarioSpec.from_json(spec.to_json()) == spec, name
+
+    def test_indent_does_not_change_the_value(self):
+        spec = _custom_spec()
+        assert ScenarioSpec.from_json(spec.to_json(indent=2)) == spec
+
+    def test_unknown_fields_rejected(self):
+        payload = ScenarioSpec().to_dict()
+        payload["topology"]["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            ScenarioSpec.from_dict(payload)
+        with pytest.raises(ValueError, match="wat"):
+            ScenarioSpec.from_dict({"wat": 1})
+
+
+class TestDigest:
+    def test_digest_is_stable_within_process(self):
+        assert _custom_spec().digest() == _custom_spec().digest()
+
+    def test_digest_changes_with_any_field(self):
+        spec = _custom_spec()
+        assert spec.digest() != spec.with_(seed=18).digest()
+
+    def test_digest_survives_json_round_trip(self):
+        spec = _custom_spec()
+        assert ScenarioSpec.from_json(spec.to_json()).digest() == spec.digest()
+
+    def test_digest_stable_across_process_restarts(self):
+        """A fresh interpreter recomputes the identical digests (the
+        registered specs from the registry; the custom one rebuilt from
+        its JSON) — no dependence on hash randomization or import
+        order."""
+        import json
+
+        expected = {name: get_scenario(name).digest() for name in scenario_names()}
+        expected["__custom__"] = _custom_spec().digest()
+        code = (
+            "import json, sys\n"
+            "from repro.scenario.registry import get_scenario, scenario_names\n"
+            "from repro.scenario.spec import ScenarioSpec\n"
+            "custom = ScenarioSpec.from_json(sys.stdin.read())\n"
+            "digests = {n: get_scenario(n).digest() for n in scenario_names()}\n"
+            "digests['__custom__'] = custom.digest()\n"
+            "print(json.dumps(digests))\n"
+        )
+        import repro
+
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            path for path in (src_root, env.get("PYTHONPATH", "")) if path
+        )
+        env["PYTHONHASHSEED"] = "random"
+        output = subprocess.run(
+            [sys.executable, "-c", code], input=_custom_spec().to_json(),
+            capture_output=True, text=True, env=env, check=True,
+        ).stdout
+        assert json.loads(output) == expected
+
+
+class TestPickle:
+    def test_pickle_round_trip(self):
+        spec = _custom_spec()
+        restored = pickle.loads(pickle.dumps(spec))
+        assert restored == spec
+        assert restored.digest() == spec.digest()
+
+    def test_registered_specs_pickle(self):
+        for name in scenario_names():
+            spec = get_scenario(name)
+            assert pickle.loads(pickle.dumps(spec)) == spec, name
+
+
+class TestValidation:
+    def test_bad_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            TopologySpec(kind="ring")
+        with pytest.raises(ValueError):
+            TrafficSpec(kind="tsunami")
+        with pytest.raises(ValueError):
+            LossSpec(kind="cosmic_rays")
+        with pytest.raises(ValueError):
+            ChurnSpec(kind="rapture")
+        with pytest.raises(ValueError):
+            PolicySpec(kind="yolo")
+        with pytest.raises(ValueError):
+            FecSpec(mode="sideways")
+
+    def test_range_checks(self):
+        with pytest.raises(ValueError):
+            LossSpec(kind="bernoulli", p=1.5)
+        with pytest.raises(ValueError):
+            TopologySpec(kind="chain", sizes=())
+        with pytest.raises(ValueError):
+            TrafficSpec(kind="uniform", count=3, interval=0.0)
+        with pytest.raises(ValueError):
+            MeasurementSpec(horizon=-1.0)
+
+    def test_member_count(self):
+        assert TopologySpec(kind="single_region", n=7).member_count() == 7
+        assert TopologySpec(kind="chain", sizes=(3, 4)).member_count() == 7
+        assert TopologySpec(kind="star", n=5, sizes=(2, 2)).member_count() == 9
+        assert TopologySpec(
+            kind="balanced_tree", depth=1, fanout=2, n=3
+        ).member_count() == 9

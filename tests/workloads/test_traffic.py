@@ -7,7 +7,12 @@ import pytest
 from repro.net.topology import single_region
 from repro.protocol.config import RrmpConfig
 from repro.protocol.rrmp import RrmpSimulation
-from repro.workloads.traffic import BurstStream, PoissonStream, UniformStream
+from repro.workloads.traffic import (
+    BurstStream,
+    PoissonStream,
+    RampStream,
+    UniformStream,
+)
 
 
 class TestUniformStream:
@@ -52,6 +57,52 @@ class TestPoissonStream:
             PoissonStream(rate=0.0, duration=10.0, rng=random.Random(1))
         with pytest.raises(ValueError):
             PoissonStream(rate=1.0, duration=0.0, rng=random.Random(1))
+
+
+class TestRampStream:
+    def test_send_times_interpolate_gaps_inclusively(self):
+        """5 sends, 4 gaps: exactly 40, 30, 20, 10 ms."""
+        stream = RampStream(5, initial_interval=40.0, final_interval=10.0)
+        assert stream.send_times() == [0.0, 40.0, 70.0, 90.0, 100.0]
+
+    def test_rate_increases_monotonically(self):
+        times = RampStream(20, 50.0, 5.0, start=3.0).send_times()
+        assert times[0] == 3.0
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps == sorted(gaps, reverse=True)
+        assert gaps[0] == pytest.approx(50.0)
+        assert gaps[-1] == pytest.approx(5.0)
+
+    def test_degenerate_counts(self):
+        assert RampStream(0, 10.0, 5.0).send_times() == []
+        assert RampStream(1, 10.0, 5.0, start=7.0).send_times() == [7.0]
+        # A single gap uses the initial interval.
+        assert RampStream(2, 10.0, 5.0).send_times() == [0.0, 10.0]
+
+    def test_constant_when_intervals_equal(self):
+        stream = RampStream(4, 10.0, 10.0)
+        assert stream.send_times() == [0.0, 10.0, 20.0, 30.0]
+
+    def test_end_time_extends_past_last_send(self):
+        stream = RampStream(5, 40.0, 10.0)
+        assert stream.end_time() == pytest.approx(110.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RampStream(-1, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            RampStream(3, 0.0, 5.0)
+        with pytest.raises(ValueError):
+            RampStream(3, 10.0, 0.0)
+
+    def test_schedule_drives_sender(self):
+        simulation = RrmpSimulation(
+            single_region(5), config=RrmpConfig(session_interval=None), seed=0,
+        )
+        count = RampStream(6, 20.0, 5.0).schedule(simulation)
+        simulation.run(duration=200.0)
+        assert count == 6
+        assert simulation.sender.max_seq == 6
 
 
 class TestBurstStream:
