@@ -132,6 +132,29 @@ class MessageBuffer:
         """Number of long-term entries.  O(1)."""
         return len(self._long_term)
 
+    def check_index(self) -> List[str]:
+        """Internal-consistency problems between entries and the
+        long-term index (empty when the buffer is healthy).
+
+        O(n); meant for the invariant oracle's end-of-run sweep and the
+        property tests, not for protocol hot paths.
+        """
+        problems: List[str] = []
+        for seq, entry in self._entries.items():
+            if entry.long_term and seq not in self._long_term:
+                problems.append(f"entry {seq} flagged long_term but missing from index")
+            if not entry.long_term and seq in self._long_term:
+                problems.append(f"entry {seq} in long-term index but not flagged")
+            if entry.order > self._next_order:
+                problems.append(f"entry {seq} order {entry.order} beyond watermark")
+        for seq in self._long_term:
+            if seq not in self._entries:
+                problems.append(f"long-term index holds discarded seq {seq}")
+        orders = [entry.order for entry in self._entries.values()]
+        if len(set(orders)) != len(orders):
+            problems.append("duplicate admission ranks")
+        return problems
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------

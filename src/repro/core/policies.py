@@ -136,7 +136,11 @@ class NeverDiscardPolicy(BufferPolicy):
     """
 
     def on_receive(self, data: DataMessage) -> None:
-        self.buffer.add(data, self.host.sim.now)
+        now = self.host.sim.now
+        if data.seq in self.buffer:
+            return
+        self.buffer.add(data, now)
+        self.host.trace.emit(now, "buffer_add", node=self.host.node_id, seq=data.seq)
 
 
 class FixedTimePolicy(BufferPolicy):
@@ -160,6 +164,7 @@ class FixedTimePolicy(BufferPolicy):
         if data.seq in self.buffer:
             return
         self.buffer.add(data, now)
+        self.host.trace.emit(now, "buffer_add", node=self.host.node_id, seq=data.seq)
         event = self.host.sim.after(self.hold_time, self._expire, data.seq)
         self._expiries.append((data.seq, event))
 

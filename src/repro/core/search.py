@@ -86,6 +86,7 @@ class _SearchProcess:
         limit = self.coordinator.max_rounds
         if limit is not None and self.rounds >= limit:
             rounds = self.rounds
+            self.coordinator._given_up.add(self.seq)
             self.coordinator._finish(self.seq)
             host.trace.emit(host.sim.now, "search_abandoned",
                             node=host.node_id, seq=self.seq, rounds=rounds)
@@ -123,6 +124,15 @@ class SearchCoordinator:
         self.max_rounds = max_rounds
         self.rng = host.search_rng()
         self._active: Dict[Seq, _SearchProcess] = {}
+        #: Messages whose search this member already abandoned after
+        #: ``max_rounds`` rounds.  Without this memory, two members that
+        #: both discarded a vanished message re-seed each other's search
+        #: forever: A's request makes B join, B's request makes A rejoin
+        #: right after A abandoned — a collective livelock the per-process
+        #: round limit cannot see (found by ``validate fuzz``).  Only
+        #: populated when ``max_rounds`` is finite, so the default
+        #: unbounded configuration behaves exactly as before.
+        self._given_up: Set[Seq] = set()
 
     # ------------------------------------------------------------------
     # Entry points called by the member
@@ -136,6 +146,10 @@ class SearchCoordinator:
         process = self._active.get(seq)
         if process is not None:
             process.waiters.update(waiters)
+            return
+        if seq in self._given_up:
+            # This member already searched to its round limit and gave
+            # up; re-joining on a peer's request would defeat the limit.
             return
         process = _SearchProcess(self, seq, set(waiters))
         self._active[seq] = process
@@ -158,6 +172,10 @@ class SearchCoordinator:
         Stops the search and returns the waiters that still need the
         repair (the member serves them directly).
         """
+        # Receiving the message resets the give-up memory: if the member
+        # buffers and later re-discards it, a fresh search is legitimate
+        # because the regional buffer state has genuinely changed.
+        self._given_up.discard(seq)
         process = self._active.get(seq)
         if process is None:
             return ()

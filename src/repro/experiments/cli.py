@@ -9,13 +9,17 @@ Usage::
     rrmp-experiments all --quick --jobs 4 --cache-dir /tmp/rrmp-cache
     rrmp-experiments scenarios list
     rrmp-experiments scenarios run wan_burst_loss --json
+    rrmp-experiments validate run scale
+    rrmp-experiments validate fuzz --trials 200 --seed 0 --json
 
 ``--param key=value`` values are parsed as Python literals (numbers,
 tuples, booleans; lowercase ``true``/``false``/``none`` coerce too)
 and passed to the experiment function.
 
 ``scenarios`` lists, describes and runs the named declarative
-scenarios of :mod:`repro.scenario` (see ``scenarios --help``).
+scenarios of :mod:`repro.scenario` (see ``scenarios --help``);
+``validate`` runs scenarios under the protocol invariant oracle and
+fuzzes the scenario space (see ``validate --help``).
 
 ``run`` and ``all`` execute through the sweep runner: ``--jobs N``
 fans trials across N worker processes (byte-identical tables to
@@ -44,6 +48,7 @@ from repro.runner import (
     using_runner,
 )
 from repro.scenario.cli import add_scenarios_parser, main_scenarios
+from repro.validate.cli import add_validate_parser, main_validate
 
 __all__ = ["QUICK_PARAMS", "build_parser", "main", "parse_param", "runner_from_args"]
 
@@ -132,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     all_parser = commands.add_parser("all", help="run every experiment")
     _add_runner_arguments(all_parser)
     add_scenarios_parser(commands)
+    add_validate_parser(commands)
     return parser
 
 
@@ -150,6 +156,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "scenarios":
         return main_scenarios(args)
+    if args.command == "validate":
+        return main_validate(args)
     if args.command == "list":
         width = max(len(eid) for eid in experiment_ids())
         for eid in experiment_ids():

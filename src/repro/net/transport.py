@@ -189,6 +189,17 @@ class Network:
         if self.trace is not None:
             self.trace.emit(now, "packet_sent", src=src, dst=dst,
                             type=type_name, packet_kind=kind)
+        if dst not in self._endpoints:
+            # The destination already left or crashed: the send happens
+            # (and is accounted) but the packet goes nowhere — checked
+            # before the latency model, which cannot place a node the
+            # hierarchy no longer contains.  The loss RNG is untouched
+            # so surviving traffic keeps its sample path.
+            self.stats.dropped += 1
+            if self.trace is not None:
+                self.trace.emit(now, "packet_dropped", src=src, dst=dst,
+                                type=type_name, reason="departed")
+            return None
         if self.loss.is_lost(src, dst, kind, self._loss_rng):
             self.stats.dropped += 1
             if self.trace is not None:

@@ -614,6 +614,33 @@ class RrmpMember:
         """Messages currently buffered at this member."""
         return self.policy.occupancy
 
+    def buffered_seqs(self) -> Sequence[Seq]:
+        """Sequence numbers currently in this member's buffer.
+
+        Oracle hook (:mod:`repro.validate`): lets the end-of-run sweep
+        cross-check the trace's add/discard ledger against live state.
+        """
+        return tuple(self.policy.buffer.seqs())
+
+    def active_recovery_seqs(self) -> Sequence[Seq]:
+        """Seqs with a recovery still running (not completed/failed/cancelled).
+
+        Oracle hook: at quiescence an active recovery with no pending
+        timer event is a stalled recovery — the liveness bug class the
+        invariant oracle exists to catch.
+        """
+        return tuple(
+            seq for seq, process in self.recoveries.items() if process.active
+        )
+
+    def unresolved_gaps(self) -> Sequence[Seq]:
+        """Detected-but-unreceived seqs at this member, in order.
+
+        Oracle hook: at quiescence every entry must be covered by an
+        explicit ``reliability_violation`` trace record.
+        """
+        return tuple(self.gap.missing())
+
     def has_received(self, seq: Seq) -> bool:
         """Whether *seq* has ever been received by this member."""
         return self.gap.is_received(seq)

@@ -27,7 +27,10 @@ probes before scheduling traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.validate.oracle import InvariantOracle
 
 from repro.core.policies import (
     BufferPolicy,
@@ -184,6 +187,9 @@ class BuiltScenario:
     message_count: int = 0
     churn: Optional[ChurnSchedule] = None
     stability_agents: List = field(default_factory=list)
+    #: Invariant oracle (:mod:`repro.validate`), attached when
+    #: ``measurement.oracle`` is set; ``run()`` finalizes it.
+    oracle: Optional["InvariantOracle"] = None
     total_probe: Optional[OccupancyProbe] = None
     node_probe: Optional[OccupancyProbe] = None
     data: Optional[DataMessage] = None
@@ -221,6 +227,8 @@ class BuiltScenario:
             self.node_probe.stop()
         for agent in self.stability_agents:
             agent.stop()
+        if self.oracle is not None:
+            self.oracle.finish()
         return self
 
     def summary(self) -> dict:
@@ -248,6 +256,8 @@ class BuiltScenario:
         if self.total_probe is not None:
             result["avg_total_occupancy"] = self.total_probe.average()
             result["peak_node_occupancy"] = self.peak_node_occupancy
+        if self.oracle is not None:
+            result["invariant_violations"] = self.oracle.violation_count
         return result
 
 
@@ -335,6 +345,15 @@ def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
             sender=simulation.sender.node_id,
         )
     built = BuiltScenario(spec=spec, simulation=simulation)
+
+    if spec.measurement.oracle:
+        # Attach before probes/traffic so the oracle observes every
+        # record, including build-time workload injections.  Imported
+        # lazily: the spec layer must stay cheap to import in sweep
+        # workers, and repro.validate pulls in the full oracle stack.
+        from repro.validate.oracle import InvariantOracle
+
+        built.oracle = InvariantOracle().attach(simulation)
 
     if spec.policy.kind == "stability":
         built.stability_agents = attach_stability(list(simulation.members.values()))

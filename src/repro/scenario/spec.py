@@ -287,6 +287,10 @@ class MeasurementSpec:
     in-flight recovery settle); sessions are stopped before draining so
     the queue can empty.  ``probe_period`` turns on the occupancy
     probes (total and per-node peak) every that many ms.
+    ``oracle=True`` attaches the protocol invariant oracle
+    (:mod:`repro.validate`) for the whole run and finalizes it at the
+    measurement end; default off, so experiment outputs are untouched
+    unless a run opts into validation.
     """
 
     horizon: Optional[float] = None
@@ -294,6 +298,7 @@ class MeasurementSpec:
     drain: bool = False
     probe_period: Optional[float] = None
     keep_trace: bool = True
+    oracle: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon is not None and self.horizon <= 0:

@@ -11,7 +11,7 @@ from repro.sim.engine import SimulationError, Simulator, total_events_fired
 from repro.sim.events import Event, EventQueue
 from repro.sim.randomness import RandomStreams, derive_seed
 from repro.sim.timers import PeriodicTask, Timer, call_repeatedly
-from repro.sim.tracing import NullTraceLog, TraceLog, TraceRecord
+from repro.sim.tracing import NullTraceLog, TraceLog, TraceRecord, trace_digest
 
 __all__ = [
     "Event",
@@ -27,4 +27,5 @@ __all__ = [
     "call_repeatedly",
     "derive_seed",
     "total_events_fired",
+    "trace_digest",
 ]

@@ -13,8 +13,10 @@ records, so there is no need for anything fancier.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -87,10 +89,48 @@ class TraceLog:
 
 
 class NullTraceLog(TraceLog):
-    """A trace log that drops everything; used when tracing is disabled."""
+    """A trace log that drops everything; used when tracing is disabled.
+
+    Subscribing to a null log is always a mistake — :meth:`emit` never
+    fans out, so the subscriber would silently never fire.  That bit
+    the invariant oracle once (it "attached" and then observed a
+    perfectly clean, perfectly empty run), so :meth:`subscribe` refuses
+    instead of accepting a dead registration.
+    """
 
     def __init__(self) -> None:
         super().__init__(keep_records=False)
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:  # noqa: D102
         return None
+
+    def subscribe(self, subscriber: Subscriber, kind: Optional[str] = None) -> None:
+        """Refuse: a NullTraceLog never emits, so no subscriber can fire."""
+        raise RuntimeError(
+            "cannot subscribe to a NullTraceLog: emit() drops every record, so "
+            "the subscriber would never fire; use TraceLog(keep_records=False) "
+            "for streaming-only tracing"
+        )
+
+
+def trace_digest(records: Iterable[TraceRecord]) -> str:
+    """SHA-256 over the canonical serialization of a trace stream.
+
+    Each record is rendered as one canonical JSON line
+    (``{"f": fields, "k": kind, "t": time}`` with sorted keys); the
+    digest is stable across process restarts, platforms and Python
+    versions, which is what the golden-baseline differential tests
+    under ``tests/baselines/`` key on.  Tuples serialize as JSON
+    arrays; any non-JSON field value falls back to ``repr``.
+    """
+    hasher = hashlib.sha256()
+    for record in records:
+        line = json.dumps(
+            {"t": record.time, "k": record.kind, "f": record.fields},
+            sort_keys=True,
+            separators=(",", ":"),
+            default=repr,
+        )
+        hasher.update(line.encode("utf-8"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()

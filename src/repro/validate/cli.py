@@ -1,0 +1,196 @@
+"""The ``validate`` CLI subcommand: oracle runs, fuzzing, replays.
+
+Wired into the ``rrmp-experiments`` entry point::
+
+    rrmp-experiments validate run scale --json
+    rrmp-experiments validate fuzz --trials 200 --seed 0 --artifacts out/
+    rrmp-experiments validate replay out/repro_000042_ab12cd34ef56.json
+    rrmp-experiments validate digest wan_burst_loss
+
+``run`` executes one registered scenario (or a spec JSON file) with
+the invariant oracle attached; ``fuzz`` samples random specs (see
+:mod:`repro.validate.fuzz`); ``replay`` re-runs the spec stored in a
+repro artifact; ``digest`` prints a scenario's trace digest (what the
+golden baselines under ``tests/baselines/`` pin).
+
+Exit codes: 0 = clean, 1 = invariant violations (or a crashing spec),
+2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.scenario.registry import get_scenario
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.tracing import trace_digest
+from repro.validate.fuzz import load_artifact_spec, run_fuzz, run_spec
+
+
+def add_validate_parser(commands) -> None:
+    """Attach the ``validate`` subcommand tree to *commands*."""
+    parser = commands.add_parser(
+        "validate",
+        help="check protocol invariants: oracle runs, scenario fuzzing, replays",
+    )
+    actions = parser.add_subparsers(dest="validate_command", required=True)
+
+    run = actions.add_parser(
+        "run", help="run one scenario (registry name or spec JSON file) "
+                    "under the invariant oracle",
+    )
+    run.add_argument("scenario", help="registered scenario name or path to a "
+                                      "ScenarioSpec JSON file")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the spec's master seed")
+    run.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the oracle report as JSON")
+
+    fuzz = actions.add_parser(
+        "fuzz", help="sample random scenario specs and run each under the oracle",
+    )
+    fuzz.add_argument("--trials", type=int, default=50, metavar="N",
+                      help="number of sampled specs to run (default: 50)")
+    fuzz.add_argument("--seed", type=int, default=0, metavar="S",
+                      help="fuzzer seed; trials are deterministic per "
+                           "(seed, index) (default: 0)")
+    fuzz.add_argument("--artifacts", default=None, metavar="DIR",
+                      help="write a repro artifact per failure into DIR")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="skip spec minimization on failure")
+    fuzz.add_argument("--json", action="store_true", dest="as_json",
+                      help="print the fuzz report as JSON")
+
+    replay = actions.add_parser(
+        "replay", help="re-run the spec stored in a fuzz repro artifact",
+    )
+    replay.add_argument("artifact", help="path to a repro artifact (or bare "
+                                         "spec) JSON file")
+    replay.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the oracle report as JSON")
+
+    digest = actions.add_parser(
+        "digest", help="print a scenario's deterministic trace digest",
+    )
+    digest.add_argument("scenario")
+    digest.add_argument("--seed", type=int, default=None,
+                        help="override the spec's master seed")
+
+
+def main_validate(args: argparse.Namespace) -> int:
+    """Dispatch a parsed ``validate`` invocation; returns the exit code."""
+    command = args.validate_command
+    if command == "fuzz":
+        return _cmd_fuzz(args)
+    if command == "replay":
+        try:
+            spec = load_artifact_spec(args.artifact)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot load artifact {args.artifact!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        return _run_under_oracle(spec, as_json=args.as_json)
+    # run / digest need a scenario lookup
+    try:
+        spec = _resolve_scenario(args.scenario)
+    except (KeyError, OSError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    if args.seed is not None:
+        spec = spec.with_(seed=args.seed)
+    if command == "digest":
+        return _cmd_digest(spec)
+    return _run_under_oracle(spec, as_json=args.as_json)
+
+
+def _resolve_scenario(name: str) -> ScenarioSpec:
+    """A registry name, or a path to a ScenarioSpec JSON file."""
+    try:
+        return get_scenario(name)
+    except KeyError:
+        if os.path.exists(name):
+            with open(name, encoding="utf-8") as handle:
+                return ScenarioSpec.from_json(handle.read())
+        raise
+
+
+def _run_under_oracle(spec: ScenarioSpec, as_json: bool) -> int:
+    outcome = run_spec(spec)
+    if as_json:
+        payload = {
+            "scenario": spec.name,
+            "seed": spec.seed,
+            # The digest of the spec as the user named it — run_spec
+            # forces measurement.oracle on internally, and that mutated
+            # spec's digest would match neither `scenarios describe`
+            # nor the spec file on disk.
+            "digest": spec.digest(),
+            "error": outcome.error,
+            "violation_count": outcome.violation_count,
+            "records_checked": outcome.records_checked,
+            "events_fired": outcome.events_fired,
+            "violations": outcome.violations,
+        }
+        print(json.dumps(payload))
+        return 1 if outcome.failed else 0
+    print(f"== validate {spec.name} (seed {spec.seed}) ==")
+    print(f"  records checked      {outcome.records_checked}")
+    print(f"  events fired         {outcome.events_fired}")
+    print(f"  invariant violations {outcome.violation_count}")
+    if outcome.error is not None:
+        print(f"  CRASH: {outcome.error}")
+    for violation in outcome.violations[:20]:
+        print(f"  [{violation['invariant']}] t={violation['time']:g} "
+              f"{violation['message']}")
+    if outcome.violation_count > 20:
+        print(f"  ... and {outcome.violation_count - 20} more")
+    if not outcome.failed:
+        print("  all invariants hold")
+    return 1 if outcome.failed else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    if args.trials < 1:
+        print("error: --trials must be >= 1", file=sys.stderr)
+        return 2
+
+    def progress(index: int, outcome) -> None:
+        if not args.as_json:
+            status = "FAIL" if outcome.failed else "ok"
+            print(f"trial {index:4d}  {status:4s}  {outcome.spec.name}  "
+                  f"records={outcome.records_checked}", file=sys.stderr)
+
+    report = run_fuzz(
+        trials=args.trials,
+        seed=args.seed,
+        artifact_dir=args.artifacts,
+        minimize=not args.no_minimize,
+        progress=progress,
+    )
+    if args.as_json:
+        print(json.dumps(report.to_dict()))
+    else:
+        print(f"== fuzz: {report.trials} trials, seed {report.seed} ==")
+        print(f"  records checked   {report.records_checked}")
+        print(f"  events fired      {report.events_fired}")
+        print(f"  failing trials    {len(report.failures)}")
+        for failure in report.failures:
+            print(f"  trial {failure['trial_index']}: {failure['failure']} "
+                  f"(digest {failure['digest'][:12]})")
+        for path in report.artifacts:
+            print(f"  artifact: {path}")
+        if report.ok:
+            print("  all invariants hold on every sampled scenario")
+    return 0 if report.ok else 1
+
+
+def _cmd_digest(spec: ScenarioSpec) -> int:
+    built = spec.build().run()
+    records = built.simulation.trace.records
+    print(f"{trace_digest(records)}  {spec.name} "
+          f"(seed {spec.seed}, {len(records)} records)")
+    return 0

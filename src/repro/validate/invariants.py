@@ -1,0 +1,448 @@
+"""The protocol invariants the oracle checks.
+
+Each invariant is a small state machine fed by trace records during the
+run (``kinds`` names the record kinds it consumes) plus an optional
+end-of-run sweep (``at_end``) that cross-checks the trace-derived
+ledger against live member state.  Invariants never mutate the
+simulation — they only observe and report :class:`Violation` objects.
+
+The six invariants (see README "Validation"):
+
+* **no-duplicate-delivery** — no member ever delivers the same data
+  seq twice (``member_received`` is unique per ``(node, seq)``).
+* **gapless-delivery** — at quiescence, every gap a member detected is
+  filled, or was explicitly reported as a ``reliability_violation``
+  (the §5 give-up path).  Skipped for runs stopped mid-flight.
+* **buffer-conservation** — every ``buffer_add`` is eventually paired
+  with a ``buffer_discard`` carrying a known reason, or the entry is
+  still genuinely buffered at the end; nothing is discarded that was
+  never added, nothing is buffered that was never traced, and the
+  long-term index stays internally consistent.
+* **long-term-quota** — the number of concurrent long-term holders of
+  one message inside one region stays within a statistical envelope of
+  the configured C (the paper's expected copy count).  The bound is
+  ``C + 6·sqrt(max(C, 1)) + 4``: for the binomial coin flips §3.2
+  prescribes, exceeding it has probability ~1e-9 per message, so a
+  trip means systematic over-promotion, not bad luck.
+* **recovery-liveness** — every ``loss_detected`` terminates: a
+  ``recovery_completed``, a ``reliability_violation``, or the member
+  leaving.  At quiescence no recovery may still be open or active.
+* **fec-accounting** — each FEC block is encoded at most once, and its
+  ``fec_parity_overhead`` record agrees with the encode record
+  (``parity_messages == r``; byte counts match the wire sizes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Set, Tuple
+
+from repro.core.buffer import (
+    DISCARD_FIXED,
+    DISCARD_HANDOFF,
+    DISCARD_IDLE,
+    DISCARD_STABLE,
+    DISCARD_TTL,
+)
+from repro.protocol.messages import DATA_WIRE_SIZE, Seq
+from repro.sim.tracing import TraceRecord
+
+NodeId = int
+
+#: Discard reasons a ``buffer_discard`` record may carry.  DISCARD_CLOSE
+#: never reaches the trace (member shutdown drops buffers silently and
+#: the oracle clears its ledger on ``member_left``/``member_crashed``).
+KNOWN_DISCARD_REASONS = frozenset(
+    {DISCARD_IDLE, DISCARD_TTL, DISCARD_FIXED, DISCARD_STABLE, DISCARD_HANDOFF}
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach: which invariant, when, and the evidence."""
+
+    invariant: str
+    time: float
+    message: str
+    record: Optional[TraceRecord] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (used by the fuzz repro artifacts)."""
+        payload: Dict[str, Any] = {
+            "invariant": self.invariant,
+            "time": self.time,
+            "message": self.message,
+        }
+        if self.record is not None:
+            payload["record"] = {
+                "time": self.record.time,
+                "kind": self.record.kind,
+                "fields": dict(self.record.fields),
+            }
+        return payload
+
+
+class EndContext:
+    """What the end-of-run sweep may inspect.
+
+    ``quiescent`` is true when the event queue fully drained — only
+    then do the liveness-style invariants apply (a horizon-bounded run
+    legitimately stops with recoveries mid-flight).
+    """
+
+    def __init__(self, simulation, quiescent: bool) -> None:
+        self.simulation = simulation
+        self.quiescent = quiescent
+
+    def alive_members(self):
+        return self.simulation.alive_members()
+
+
+class Invariant:
+    """Base class: subscribes to ``kinds``, reports via ``fail``."""
+
+    #: Short identifier used in violations, reports and repro artifacts.
+    name: str = "invariant"
+    #: Trace kinds routed to :meth:`on_record` (empty = end-check only).
+    kinds: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self._sink = None
+
+    def bind(self, sink) -> None:
+        """Attach the violation sink (the oracle).  Called once."""
+        self._sink = sink
+
+    def fail(self, time: float, message: str,
+             record: Optional[TraceRecord] = None) -> None:
+        """Report one violation of this invariant."""
+        self._sink.report(Violation(self.name, time, message, record))
+
+    def on_record(self, record: TraceRecord) -> None:
+        """Consume one trace record of a subscribed kind."""
+
+    def at_end(self, ctx: EndContext) -> None:
+        """End-of-run sweep over live member state."""
+
+
+class NoDuplicateDelivery(Invariant):
+    """``member_received`` fires at most once per (node, data seq)."""
+
+    name = "no-duplicate-delivery"
+    kinds = ("member_received",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._delivered: Set[Tuple[NodeId, Seq]] = set()
+
+    def on_record(self, record: TraceRecord) -> None:
+        key = (record["node"], record["seq"])
+        if key in self._delivered:
+            self.fail(
+                record.time,
+                f"member {key[0]} delivered seq {key[1]} twice "
+                f"(second arrival via {record.get('via')!r})",
+                record,
+            )
+        else:
+            self._delivered.add(key)
+
+
+class GaplessDelivery(Invariant):
+    """At quiescence every detected gap is filled or explicitly failed."""
+
+    name = "gapless-delivery"
+    kinds = ("reliability_violation",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._given_up: Set[Tuple[NodeId, Seq]] = set()
+
+    def on_record(self, record: TraceRecord) -> None:
+        self._given_up.add((record["node"], record["seq"]))
+
+    def at_end(self, ctx: EndContext) -> None:
+        if not ctx.quiescent:
+            return
+        for member in ctx.alive_members():
+            for seq in member.unresolved_gaps():
+                if (member.node_id, seq) not in self._given_up:
+                    self.fail(
+                        ctx.simulation.sim.now,
+                        f"member {member.node_id} still missing seq {seq} at "
+                        "quiescence with no reliability_violation reported",
+                    )
+
+
+class BufferConservation(Invariant):
+    """Every buffered message ends delivered-from-buffer or discarded
+    with a known reason; trace ledger and live buffers must agree."""
+
+    name = "buffer-conservation"
+    kinds = ("buffer_add", "buffer_discard", "member_left", "member_crashed")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: (node, seq) -> add time, for entries the trace says are live.
+        self._live: Dict[Tuple[NodeId, Seq], float] = {}
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.kind in ("member_left", "member_crashed"):
+            # Shutdown discards the member's buffer without trace
+            # records (DISCARD_CLOSE); drop its ledger entries.
+            node = record["node"]
+            for key in [key for key in self._live if key[0] == node]:
+                del self._live[key]
+            return
+        key = (record["node"], record["seq"])
+        if record.kind == "buffer_add":
+            if key in self._live:
+                self.fail(
+                    record.time,
+                    f"member {key[0]} buffer_add for seq {key[1]} while the "
+                    "entry is already live (double add)",
+                    record,
+                )
+            else:
+                self._live[key] = record.time
+            return
+        # buffer_discard
+        reason = record.get("reason")
+        if reason not in KNOWN_DISCARD_REASONS:
+            self.fail(
+                record.time,
+                f"member {key[0]} discarded seq {key[1]} with unknown "
+                f"reason {reason!r}",
+                record,
+            )
+        if self._live.pop(key, None) is None:
+            self.fail(
+                record.time,
+                f"member {key[0]} discarded seq {key[1]} that was never "
+                "added (discard without add)",
+                record,
+            )
+
+    def at_end(self, ctx: EndContext) -> None:
+        members = {member.node_id: member for member in ctx.alive_members()}
+        for (node, seq), added_at in sorted(self._live.items()):
+            member = members.get(node)
+            if member is None:
+                self.fail(
+                    ctx.simulation.sim.now,
+                    f"trace says member {node} still buffers seq {seq}, but the "
+                    "member is gone and never emitted a shutdown record",
+                )
+            elif not member.is_buffering(seq):
+                self.fail(
+                    ctx.simulation.sim.now,
+                    f"trace says member {node} still buffers seq {seq} (added "
+                    f"at t={added_at:g}), but its buffer disagrees",
+                )
+        for node, member in sorted(members.items()):
+            for seq in member.buffered_seqs():
+                if (node, seq) not in self._live:
+                    self.fail(
+                        ctx.simulation.sim.now,
+                        f"member {node} buffers seq {seq} with no live "
+                        "buffer_add trace entry",
+                    )
+            for problem in member.policy.buffer.check_index():
+                self.fail(
+                    ctx.simulation.sim.now,
+                    f"member {node} long-term index inconsistent: {problem}",
+                )
+
+
+class LongTermQuota(Invariant):
+    """Concurrent long-term holders per (region, message) stay within a
+    statistical envelope of the configured C."""
+
+    name = "long-term-quota"
+    kinds = ("long_term_selected", "buffer_discard", "member_left", "member_crashed")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: seq -> {node: region at promotion time}
+        self._holders: Dict[Seq, Dict[NodeId, int]] = {}
+        self._bound: Optional[float] = None
+
+    def _quota_bound(self, simulation) -> float:
+        if self._bound is None:
+            c = float(simulation.config.long_term_c)
+            self._bound = c + 6.0 * math.sqrt(max(c, 1.0)) + 4.0
+        return self._bound
+
+    def on_record(self, record: TraceRecord) -> None:
+        simulation = self._sink.simulation
+        if record.kind in ("member_left", "member_crashed"):
+            node = record["node"]
+            for holders in self._holders.values():
+                holders.pop(node, None)
+            return
+        node, seq = record["node"], record["seq"]
+        if record.kind == "buffer_discard":
+            if record.get("was_long_term"):
+                holders = self._holders.get(seq)
+                if holders is not None:
+                    holders.pop(node, None)
+            return
+        # long_term_selected
+        holders = self._holders.setdefault(seq, {})
+        if node in holders:
+            return  # re-promotion (e.g. handoff onto an existing holder)
+        hierarchy = simulation.hierarchy
+        region = (
+            hierarchy.region_id_of(node) if hierarchy.contains(node) else -1
+        )
+        holders[node] = region
+        bound = self._quota_bound(simulation)
+        in_region = sum(1 for other in holders.values() if other == region)
+        if in_region > bound:
+            self.fail(
+                record.time,
+                f"seq {seq} has {in_region} concurrent long-term holders in "
+                f"region {region}, beyond the statistical quota "
+                f"{bound:.1f} for C={simulation.config.long_term_c:g}",
+                record,
+            )
+
+
+class RecoveryLiveness(Invariant):
+    """Every detected loss terminates; nothing is left running at
+    quiescence."""
+
+    name = "recovery-liveness"
+    kinds = (
+        "loss_detected",
+        "recovery_completed",
+        "reliability_violation",
+        "member_left",
+        "member_crashed",
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._open: Dict[Tuple[NodeId, Seq], float] = {}
+
+    def on_record(self, record: TraceRecord) -> None:
+        if record.kind in ("member_left", "member_crashed"):
+            node = record["node"]
+            for key in [key for key in self._open if key[0] == node]:
+                del self._open[key]
+            return
+        key = (record["node"], record["seq"])
+        if record.kind == "loss_detected":
+            if key in self._open:
+                self.fail(
+                    record.time,
+                    f"member {key[0]} detected seq {key[1]} twice without the "
+                    "first recovery terminating",
+                    record,
+                )
+            self._open[key] = record.time
+            return
+        # recovery_completed / reliability_violation
+        if self._open.pop(key, None) is None:
+            self.fail(
+                record.time,
+                f"member {key[0]} reported {record.kind} for seq {key[1]} "
+                "with no open recovery (terminal event without detection)",
+                record,
+            )
+
+    def at_end(self, ctx: EndContext) -> None:
+        if not ctx.quiescent:
+            return
+        now = ctx.simulation.sim.now
+        for (node, seq), detected_at in sorted(self._open.items()):
+            self.fail(
+                now,
+                f"recovery of seq {seq} at member {node} (detected at "
+                f"t={detected_at:g}) never completed, failed, or was "
+                "cancelled by shutdown",
+            )
+        for member in ctx.alive_members():
+            for seq in member.active_recovery_seqs():
+                self.fail(
+                    now,
+                    f"member {member.node_id} recovery for seq {seq} is still "
+                    "active at quiescence with no pending timer (stalled)",
+                )
+
+
+class FecAccounting(Invariant):
+    """Parity overhead records agree with their encode records."""
+
+    name = "fec-accounting"
+    kinds = ("fec_encode", "fec_parity_overhead")
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: block id -> (k, r) from its fec_encode record.
+        self._encoded: Dict[int, Tuple[int, int]] = {}
+        self._accounted: Set[int] = set()
+
+    def on_record(self, record: TraceRecord) -> None:
+        block = record["block"]
+        if record.kind == "fec_encode":
+            if block in self._encoded:
+                self.fail(
+                    record.time,
+                    f"FEC block {block} encoded twice",
+                    record,
+                )
+            self._encoded[block] = (record["k"], record["r"])
+            return
+        # fec_parity_overhead
+        if block in self._accounted:
+            self.fail(
+                record.time,
+                f"FEC block {block} has two parity-overhead records",
+                record,
+            )
+        self._accounted.add(block)
+        encode = self._encoded.get(block)
+        if encode is None:
+            self.fail(
+                record.time,
+                f"parity-overhead record for block {block} with no encode",
+                record,
+            )
+            return
+        k, r = encode
+        parity_messages = record["parity_messages"]
+        if parity_messages != r:
+            self.fail(
+                record.time,
+                f"block {block} emitted {parity_messages} parity messages "
+                f"but was encoded with r={r}",
+                record,
+            )
+        if record["parity_bytes"] != parity_messages * DATA_WIRE_SIZE:
+            self.fail(
+                record.time,
+                f"block {block} parity_bytes {record['parity_bytes']} != "
+                f"{parity_messages} x {DATA_WIRE_SIZE}",
+                record,
+            )
+        if record["data_bytes"] != k * DATA_WIRE_SIZE:
+            self.fail(
+                record.time,
+                f"block {block} data_bytes {record['data_bytes']} != "
+                f"{k} x {DATA_WIRE_SIZE}",
+                record,
+            )
+
+
+def default_invariants() -> Sequence[Invariant]:
+    """Fresh instances of the full invariant set, in check order."""
+    return (
+        NoDuplicateDelivery(),
+        GaplessDelivery(),
+        BufferConservation(),
+        LongTermQuota(),
+        RecoveryLiveness(),
+        FecAccounting(),
+    )

@@ -1,0 +1,100 @@
+"""Stateful property test: MessageBuffer's long-term index vs a model.
+
+Drives random ``add`` / ``promote`` / ``demote`` / ``discard`` /
+``discard_all`` sequences against :class:`repro.core.buffer.MessageBuffer`
+while maintaining an independent model (a plain dict of seq →
+long-term flag), and asserts after every step that the buffer's O(1)
+index answers — ``long_term_count``, ``is_long_term``,
+``long_term_seqs`` ordering — agree with the model and that
+``check_index`` finds no internal inconsistency.
+
+This is the regression net for the PR-3 index optimisation: the set
+index must stay synchronized with the per-entry ``long_term`` flags
+through every interleaving, including promote-after-discard and
+demote-of-never-promoted no-ops.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.buffer import DISCARD_IDLE, MessageBuffer
+from repro.protocol.messages import DataMessage
+
+SEQS = st.integers(min_value=1, max_value=12)
+
+
+class BufferIndexMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.buffer = MessageBuffer()
+        #: Model: seq -> long_term flag, insertion-ordered like the buffer.
+        self.model: dict = {}
+        self.clock = 0.0
+
+    def _now(self) -> float:
+        self.clock += 1.0
+        return self.clock
+
+    @rule(seq=SEQS, long_term=st.booleans())
+    def add(self, seq: int, long_term: bool) -> None:
+        self.buffer.add(DataMessage(seq=seq, sender=0), self._now(),
+                        long_term=long_term)
+        # add() is a no-op for an already-buffered seq.
+        if seq not in self.model:
+            self.model[seq] = long_term
+
+    @rule(seq=SEQS)
+    def promote(self, seq: int) -> None:
+        entry = self.buffer.promote(seq)
+        if seq in self.model:
+            assert entry is not None
+            self.model[seq] = True
+        else:
+            assert entry is None
+
+    @rule(seq=SEQS)
+    def demote(self, seq: int) -> None:
+        entry = self.buffer.demote(seq)
+        if seq in self.model:
+            assert entry is not None
+            self.model[seq] = False
+        else:
+            assert entry is None
+
+    @rule(seq=SEQS)
+    def discard(self, seq: int) -> None:
+        entry = self.buffer.discard(seq, self._now(), DISCARD_IDLE)
+        if seq in self.model:
+            assert entry is not None
+            assert entry.long_term == self.model.pop(seq)
+        else:
+            assert entry is None
+
+    @rule()
+    def discard_all(self) -> None:
+        removed = self.buffer.discard_all(self._now())
+        assert sorted(e.seq for e in removed) == sorted(self.model)
+        self.model.clear()
+
+    @invariant()
+    def index_matches_model(self) -> None:
+        expected_long_term = [s for s, flag in self.model.items() if flag]
+        assert self.buffer.long_term_count == len(expected_long_term)
+        assert self.buffer.occupancy == len(self.model)
+        for seq in self.model:
+            assert self.buffer.is_long_term(seq) == self.model[seq]
+        # long_term_seqs is ordered by buffer insertion, which the
+        # model's dict insertion order mirrors exactly.
+        assert list(self.buffer.long_term_seqs()) == expected_long_term
+        assert list(self.buffer.seqs()) == list(self.model)
+
+    @invariant()
+    def internal_index_is_consistent(self) -> None:
+        assert self.buffer.check_index() == []
+
+
+TestBufferIndexMachine = BufferIndexMachine.TestCase
+TestBufferIndexMachine.settings = settings(max_examples=60, stateful_step_count=40)

@@ -1,6 +1,8 @@
 """Unit tests for the trace log."""
 
-from repro.sim import NullTraceLog, TraceLog
+import pytest
+
+from repro.sim import NullTraceLog, TraceLog, trace_digest
 
 
 class TestTraceLog:
@@ -65,8 +67,41 @@ class TestTraceLog:
 class TestNullTraceLog:
     def test_emit_is_a_noop(self):
         log = NullTraceLog()
-        seen = []
-        log.subscribe(seen.append)
         log.emit(1.0, "a")
         assert log.records == []
-        assert seen == []
+
+    def test_subscribe_refuses_dead_registrations(self):
+        """A NullTraceLog never emits, so accepting a subscriber would
+        silently guarantee it never fires — refuse instead."""
+        log = NullTraceLog()
+        with pytest.raises(RuntimeError, match="NullTraceLog"):
+            log.subscribe(lambda record: None)
+        with pytest.raises(RuntimeError, match="never fire"):
+            log.subscribe(lambda record: None, kind="a")
+
+
+class TestTraceDigest:
+    def test_equal_streams_share_a_digest(self, trace):
+        other = TraceLog()
+        for log in (trace, other):
+            log.emit(1.0, "a", node=1, via="multicast")
+            log.emit(2.5, "b", waiters=(3, 4))
+        assert trace_digest(trace.records) == trace_digest(other.records)
+
+    def test_digest_is_order_sensitive(self):
+        a, b = TraceLog(), TraceLog()
+        a.emit(1.0, "x")
+        a.emit(2.0, "y")
+        b.emit(2.0, "y")
+        b.emit(1.0, "x")
+        assert trace_digest(a.records) != trace_digest(b.records)
+
+    def test_digest_sees_field_values(self, trace):
+        trace.emit(1.0, "a", node=1)
+        one = trace_digest(trace.records)
+        trace.clear()
+        trace.emit(1.0, "a", node=2)
+        assert trace_digest(trace.records) != one
+
+    def test_empty_stream_digest_is_stable(self):
+        assert trace_digest([]) == trace_digest([])
