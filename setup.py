@@ -1,9 +1,9 @@
 """Setuptools shim.
 
-The project metadata lives in ``pyproject.toml``; this file exists so
-``pip install -e .`` works on environments without the ``wheel``
-package (pip falls back to the legacy ``setup.py develop`` path when no
-``[build-system]`` table is declared).
+The project metadata — including the ``rrmp`` console script — lives
+in ``pyproject.toml``; this file only keeps ``pip install -e .``
+working on older pips that still route editable installs through the
+legacy ``setup.py develop`` path.
 """
 
 from setuptools import setup

@@ -11,6 +11,8 @@ Usage::
     rrmp-experiments scenarios run wan_burst_loss --json
     rrmp-experiments validate run scale
     rrmp-experiments validate fuzz --trials 200 --seed 0 --json
+    rrmp-experiments live run wan_burst_loss --speedup 4
+    rrmp-experiments live diff initial_holders --speedup 2 --json
 
 ``--param key=value`` values are parsed as Python literals (numbers,
 tuples, booleans; lowercase ``true``/``false``/``none`` coerce too)
@@ -47,6 +49,7 @@ from repro.runner import (
     SerialBackend,
     using_runner,
 )
+from repro.live.cli import add_live_parser, main_live
 from repro.scenario.cli import add_scenarios_parser, main_scenarios
 from repro.validate.cli import add_validate_parser, main_validate
 
@@ -138,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runner_arguments(all_parser)
     add_scenarios_parser(commands)
     add_validate_parser(commands)
+    add_live_parser(commands)
     return parser
 
 
@@ -158,6 +162,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return main_scenarios(args)
     if args.command == "validate":
         return main_validate(args)
+    if args.command == "live":
+        return main_live(args)
     if args.command == "list":
         width = max(len(eid) for eid in experiment_ids())
         for eid in experiment_ids():

@@ -1,0 +1,300 @@
+"""Wire codec for RRMP messages over UDP.
+
+Every message type in :data:`repro.protocol.messages.WIRE_MESSAGE_TYPES`
+encodes to a tagged JSON object; a datagram is a small frame that adds
+addressing (the live transport multiplexes every co-located member over
+one socket, so ``src``/``dst`` ride in the frame, not the UDP header)
+behind a magic/version prefix:
+
+    b"RRMP1" + json({"src": ..., "dst": ..., "sent": ..., "group": ...,
+                     "msg": {"t": "DataMessage", "seq": 7, ...}})
+
+Design points:
+
+* **Explicit schemas, strict decoding.**  Each type lists its wire
+  fields with a value codec; unknown types, missing fields, extra
+  fields and wrong value shapes all raise :class:`CodecError` — a
+  malformed datagram must never surface as a half-built message.
+* **Bytes are base64** (``ParityMessage.shard``); tuples are JSON
+  arrays restored to tuples on decode.
+* **Nested messages** (``Repair.data``, ``HandoffMessage.data``) are
+  encoded recursively and restricted to the payload-bearing types.
+* ``kind``/``wire_size`` are class invariants (``repr=False`` defaults)
+  and stay off the wire.
+
+JSON keeps the codec dependency-free and the differential harness's
+captures human-readable; at the paper's message sizes (1 KB nominal
+data packets) compactness is not the constraint.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.protocol.messages import (
+    REPAIR_LOCAL,
+    REPAIR_REGIONAL,
+    REPAIR_RELAY,
+    REPAIR_REMOTE,
+    DataMessage,
+    HandoffMessage,
+    HaveReply,
+    LocalRequest,
+    ParityMessage,
+    RemoteRequest,
+    Repair,
+    SearchRequest,
+    SessionMessage,
+)
+
+MAGIC = b"RRMP1"
+
+#: Hard ceiling on accepted datagram size; far above any real frame
+#: (nominal data payloads are 1 KB) but small enough that a hostile or
+#: corrupt blob cannot make the JSON parser chew megabytes.
+MAX_DATAGRAM = 64 * 1024
+
+
+class CodecError(ValueError):
+    """A datagram or message that cannot be (de)coded."""
+
+
+# ----------------------------------------------------------------------
+# Value codecs: encode python -> json-ready, decode json -> python.
+# Every decoder validates shape and raises CodecError.
+# ----------------------------------------------------------------------
+def _enc_identity(value: Any) -> Any:
+    return value
+
+
+def _dec_int(value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise CodecError(f"expected an integer, got {value!r}")
+    return value
+
+
+def _dec_str(value: Any) -> str:
+    if not isinstance(value, str):
+        raise CodecError(f"expected a string, got {value!r}")
+    return value
+
+
+def _enc_json_value(value: Any) -> Any:
+    try:
+        json.dumps(value)
+    except (TypeError, ValueError) as error:
+        raise CodecError(f"payload is not JSON-serializable: {error}") from error
+    return value
+
+
+def _dec_json_value(value: Any) -> Any:
+    return value
+
+
+def _enc_int_tuple(value: Tuple[int, ...]) -> list:
+    return list(value)
+
+
+def _dec_int_tuple(value: Any) -> Tuple[int, ...]:
+    if not isinstance(value, list):
+        raise CodecError(f"expected a list, got {value!r}")
+    return tuple(_dec_int(item) for item in value)
+
+
+def _enc_bytes(value: bytes) -> str:
+    return base64.b64encode(value).decode("ascii")
+
+
+def _dec_bytes(value: Any) -> bytes:
+    if not isinstance(value, str):
+        raise CodecError(f"expected base64 text, got {value!r}")
+    try:
+        return base64.b64decode(value.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError) as error:
+        raise CodecError(f"invalid base64: {error}") from error
+
+
+_REPAIR_SCOPES = frozenset(
+    {REPAIR_LOCAL, REPAIR_REMOTE, REPAIR_REGIONAL, REPAIR_RELAY}
+)
+
+
+def _dec_scope(value: Any) -> str:
+    scope = _dec_str(value)
+    if scope not in _REPAIR_SCOPES:
+        raise CodecError(f"unknown repair scope {scope!r}")
+    return scope
+
+
+def _enc_nested(value: Any) -> Dict[str, Any]:
+    if not isinstance(value, (DataMessage, ParityMessage)):
+        raise CodecError(
+            f"nested message must be DataMessage or ParityMessage, "
+            f"got {type(value).__name__}"
+        )
+    return encode_message(value)
+
+
+def _dec_nested(value: Any) -> Any:
+    message = decode_message(value)
+    if not isinstance(message, (DataMessage, ParityMessage)):
+        raise CodecError(
+            f"nested message must be DataMessage or ParityMessage, "
+            f"got {type(message).__name__}"
+        )
+    return message
+
+
+# ----------------------------------------------------------------------
+# Per-type schemas: field name -> (encoder, decoder).
+# ----------------------------------------------------------------------
+_FieldCodec = Tuple[Callable[[Any], Any], Callable[[Any], Any]]
+
+_SCHEMAS: Dict[str, Tuple[type, Dict[str, _FieldCodec]]] = {
+    "DataMessage": (DataMessage, {
+        "seq": (_enc_identity, _dec_int),
+        "sender": (_enc_identity, _dec_int),
+        "payload": (_enc_json_value, _dec_json_value),
+    }),
+    "LocalRequest": (LocalRequest, {
+        "seq": (_enc_identity, _dec_int),
+        "requester": (_enc_identity, _dec_int),
+    }),
+    "RemoteRequest": (RemoteRequest, {
+        "seq": (_enc_identity, _dec_int),
+        "requester": (_enc_identity, _dec_int),
+    }),
+    "Repair": (Repair, {
+        "data": (_enc_nested, _dec_nested),
+        "responder": (_enc_identity, _dec_int),
+        "scope": (_enc_identity, _dec_scope),
+    }),
+    "ParityMessage": (ParityMessage, {
+        "block_id": (_enc_identity, _dec_int),
+        "index": (_enc_identity, _dec_int),
+        "r": (_enc_identity, _dec_int),
+        "block_seqs": (_enc_int_tuple, _dec_int_tuple),
+        "shard": (_enc_bytes, _dec_bytes),
+        "sender": (_enc_identity, _dec_int),
+    }),
+    "SessionMessage": (SessionMessage, {
+        "sender": (_enc_identity, _dec_int),
+        "max_seq": (_enc_identity, _dec_int),
+    }),
+    "SearchRequest": (SearchRequest, {
+        "seq": (_enc_identity, _dec_int),
+        "waiters": (_enc_int_tuple, _dec_int_tuple),
+        "forwarder": (_enc_identity, _dec_int),
+        "hops": (_enc_identity, _dec_int),
+    }),
+    "HaveReply": (HaveReply, {
+        "seq": (_enc_identity, _dec_int),
+        "owner": (_enc_identity, _dec_int),
+    }),
+    "HandoffMessage": (HandoffMessage, {
+        "data": (_enc_nested, _dec_nested),
+        "from_member": (_enc_identity, _dec_int),
+    }),
+}
+
+
+def encode_message(message: Any) -> Dict[str, Any]:
+    """Encode a protocol message into a tagged, JSON-ready dict."""
+    type_name = type(message).__name__
+    schema = _SCHEMAS.get(type_name)
+    if schema is None or not isinstance(message, schema[0]):
+        raise CodecError(f"cannot encode message type {type_name!r}")
+    encoded: Dict[str, Any] = {"t": type_name}
+    for name, (encode, _decode) in schema[1].items():
+        encoded[name] = encode(getattr(message, name))
+    return encoded
+
+
+def decode_message(obj: Any) -> Any:
+    """Decode a tagged dict back into a protocol message (strict)."""
+    if not isinstance(obj, dict):
+        raise CodecError(f"message must be an object, got {type(obj).__name__}")
+    type_name = obj.get("t")
+    if not isinstance(type_name, str):
+        raise CodecError("message is missing its type tag 't'")
+    schema = _SCHEMAS.get(type_name)
+    if schema is None:
+        raise CodecError(f"unknown message type {type_name!r}")
+    message_type, fields = schema
+    extra = set(obj) - set(fields) - {"t"}
+    if extra:
+        raise CodecError(
+            f"{type_name} has unexpected fields {sorted(extra)!r}"
+        )
+    kwargs: Dict[str, Any] = {}
+    for name, (_encode, decode) in fields.items():
+        if name not in obj:
+            raise CodecError(f"{type_name} is missing field {name!r}")
+        try:
+            kwargs[name] = decode(obj[name])
+        except CodecError as error:
+            raise CodecError(f"{type_name}.{name}: {error}") from error
+    return message_type(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Frame:
+    """One decoded datagram: addressing plus the carried message."""
+
+    src: int
+    dst: int
+    send_time: float
+    payload: Any
+    group: Optional[str] = None
+
+
+def encode_frame(src: int, dst: int, payload: Any, send_time: float,
+                 group: Optional[str] = None) -> bytes:
+    """Serialize one datagram: ``MAGIC`` + canonical JSON frame."""
+    frame = {
+        "src": src,
+        "dst": dst,
+        "sent": send_time,
+        "group": group,
+        "msg": encode_message(payload),
+    }
+    body = json.dumps(frame, sort_keys=True, separators=(",", ":"))
+    data = MAGIC + body.encode("utf-8")
+    if len(data) > MAX_DATAGRAM:
+        raise CodecError(f"frame of {len(data)} bytes exceeds {MAX_DATAGRAM}")
+    return data
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Parse and validate one datagram; raises :class:`CodecError`."""
+    if len(data) > MAX_DATAGRAM:
+        raise CodecError(f"datagram of {len(data)} bytes exceeds {MAX_DATAGRAM}")
+    if not data.startswith(MAGIC):
+        raise CodecError("bad magic: not an RRMP datagram")
+    try:
+        obj = json.loads(data[len(MAGIC):].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CodecError(f"frame body is not valid JSON: {error}") from error
+    if not isinstance(obj, dict):
+        raise CodecError("frame body must be a JSON object")
+    expected = {"src", "dst", "sent", "group", "msg"}
+    if set(obj) != expected:
+        raise CodecError(f"frame fields must be {sorted(expected)!r}, "
+                         f"got {sorted(obj)!r}")
+    src = _dec_int(obj["src"])
+    dst = _dec_int(obj["dst"])
+    sent = obj["sent"]
+    if isinstance(sent, bool) or not isinstance(sent, (int, float)):
+        raise CodecError(f"frame 'sent' must be a number, got {sent!r}")
+    group = obj["group"]
+    if group is not None and not isinstance(group, str):
+        raise CodecError(f"frame 'group' must be a string or null, got {group!r}")
+    return Frame(src=src, dst=dst, send_time=float(sent),
+                 payload=decode_message(obj["msg"]), group=group)

@@ -1,0 +1,432 @@
+"""Materialize a :class:`~repro.scenario.spec.ScenarioSpec` over real UDP.
+
+:class:`LiveSession` is the live-world sibling of
+:func:`~repro.scenario.materialize.build_scenario`: the same spec tree,
+the same construction helpers, the same named RNG streams — but members
+run over an asyncio socket on a wall clock instead of the event engine.
+Because the session exposes the :class:`~repro.protocol.rrmp.MemberGroup`
+surface plus ``sim``/``trace``/``config``/``hierarchy``, everything
+written against the simulation facade — the invariant oracle, traffic
+generators, churn schedules, metrics snapshots — drives a live run
+unchanged.
+
+Two deployment shapes share the class:
+
+* **Loopback** (default): every member of the hierarchy lives in this
+  process on one socket.  Datagrams still traverse the kernel's UDP
+  stack.  This is what the differential harness and CI smoke use.
+* **Sharded**: ``local_nodes`` restricts which members are built here
+  and ``directory`` maps every node id to its owner's address — one
+  process per member (or per region) on real hosts.  Probe workloads
+  and churn need the whole group and refuse to run sharded.
+
+Determinism: protocol decisions (holder draws, long-term coin flips,
+request targets) come from the same seeded streams as the simulator,
+so a live run of a lossless spec delivers exactly the simulated
+delivery set.  What *does* differ is physical timing and therefore the
+interleaving of loss-model draws — the differential harness compares
+normalized delivery digests, not wall-clock traces, for this reason.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, List, Optional, Set
+
+from repro.live.clock import LiveClock
+from repro.live.transport import Address, LiveTransport
+from repro.membership.churn import ChurnSchedule, random_churn
+from repro.metrics.snapshot import DeliveryCounter, MetricsSnapshot, take_snapshot
+from repro.net.ipmulticast import RegionCorrelatedOutcome
+from repro.net.latency import HierarchicalLatency
+from repro.net.topology import NodeId
+from repro.protocol.config import FEC_OFF
+from repro.protocol.member import RrmpMember
+from repro.protocol.messages import DataMessage
+from repro.protocol.rrmp import (
+    MemberGroup,
+    default_sender_node,
+    two_phase_policy_factory,
+)
+from repro.protocol.sender import RrmpSender
+from repro.scenario.materialize import (
+    build_config,
+    build_hierarchy,
+    inject_detect_all,
+    inject_search_probe,
+    outcome_for,
+    policy_factory_for,
+    traffic_generator_for,
+    transport_loss_for,
+)
+from repro.scenario.spec import ScenarioSpec
+from repro.sim import RandomStreams, TraceLog
+from repro.stability.detector import attach_stability
+
+#: How often quiescence is polled, in real seconds.
+_QUIESCENCE_POLL_S = 0.005
+
+#: Consecutive unchanged polls required before the group counts as
+#: quiescent — one poll could race a datagram sitting in the socket
+#: buffer that is about to arm new timers.
+_QUIESCENCE_SETTLE = 3
+
+
+class LiveSession(MemberGroup):
+    """One RRMP group running a scenario spec over asyncio UDP.
+
+    Usage::
+
+        session = LiveSession(spec, speedup=10.0)
+        oracle = InvariantOracle().attach(session)
+        await session.start()
+        await session.run()
+        oracle.finish()
+        await session.close()
+
+    (Or :func:`run_spec_live`, which sequences exactly that.)
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        speedup: float = 1.0,
+        local_nodes: Optional[Set[NodeId]] = None,
+        directory: Optional[Dict[NodeId, Address]] = None,
+        bind: Address = ("127.0.0.1", 0),
+        hold: bool = False,
+    ) -> None:
+        self.spec = spec
+        #: With ``hold=True``, :meth:`start` leaves the clock frozen at
+        #: zero until :meth:`release_clock` — how sharded deployments
+        #: line up their epochs: every process binds and builds, *then*
+        #: all release inside the same window.
+        self.hold = hold
+        self.hierarchy = build_hierarchy(spec.topology)
+        self.hierarchy.validate()
+        self.config = build_config(spec.policy, spec.fec)
+        self.streams = RandomStreams(spec.seed)
+        self.trace = TraceLog(keep_records=spec.measurement.keep_trace)
+        self.deliveries = DeliveryCounter(self.trace)
+        # Held until start() finishes: building members and injecting
+        # the workload takes real milliseconds, and a running clock
+        # would feed that setup time straight into the protocol's first
+        # timers (a 40 ms idle threshold can expire before the last
+        # member even exists).  The simulator gets this for free — all
+        # construction happens "at" t=0.
+        self.sim = LiveClock(speedup=speedup, held=True)
+        self.latency = HierarchicalLatency(
+            self.hierarchy,
+            intra_one_way=spec.topology.intra_one_way,
+            inter_one_way=spec.topology.inter_one_way,
+        )
+        self.network = LiveTransport(
+            self.sim,
+            self.latency,
+            loss=transport_loss_for(spec.loss),
+            streams=self.streams,
+            trace=None,
+            directory=directory,
+        )
+        self._local_nodes = set(local_nodes) if local_nodes is not None else None
+        self._bind = bind
+        factory = policy_factory_for(spec.policy)
+        self._policy_factory = (
+            factory if factory is not None else two_phase_policy_factory(self.config)
+        )
+        self.members: Dict[NodeId, RrmpMember] = {}
+        self.sender: Optional[RrmpSender] = None
+        self.traffic = None
+        self.message_count = 0
+        self.churn: Optional[ChurnSchedule] = None
+        self.stability_agents: List = []
+        self.data: Optional[DataMessage] = None
+        self.holders: List[NodeId] = []
+        self.bufferers: List[NodeId] = []
+        self.requester: Optional[NodeId] = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def sharded(self) -> bool:
+        """Whether this session hosts only a subset of the group."""
+        return self._local_nodes is not None
+
+    async def start(self) -> Address:
+        """Open the socket, build local members, install the workload.
+
+        Returns the bound address (useful with an ephemeral port).
+        """
+        if self._started:
+            raise RuntimeError("session already started")
+        self._started = True
+        spec = self.spec
+        address = await self.network.open(*self._bind)
+        for node in self.hierarchy.nodes:
+            if self._local_nodes is not None and node not in self._local_nodes:
+                continue
+            self.members[node] = RrmpMember(
+                node_id=node,
+                sim=self.sim,
+                network=self.network,
+                hierarchy=self.hierarchy,
+                config=self.config,
+                streams=self.streams,
+                trace=self.trace,
+                policy=self._policy_factory(node),
+            )
+        sender_node = default_sender_node(self.hierarchy)
+        if sender_node in self.members:
+            self.sender = RrmpSender(
+                self.members[sender_node], outcome=outcome_for(spec.loss)
+            )
+            if spec.loss.kind == "region_correlated":
+                self.sender.outcome = RegionCorrelatedOutcome(
+                    self.hierarchy,
+                    region_loss=spec.loss.region_loss,
+                    receiver_loss=spec.loss.receiver_loss,
+                    sender=self.sender.node_id,
+                )
+
+        if spec.policy.kind == "stability":
+            self.stability_agents = attach_stability(list(self.members.values()))
+
+        self._install_workload()
+        if not self.hold:
+            self.sim.release()  # setup done: virtual time starts now
+        return address
+
+    def release_clock(self) -> None:
+        """Start virtual time on a session constructed with ``hold=True``.
+
+        A shard whose clock starts at its own ``start()`` is skewed
+        against its peers by however long the operator took to launch
+        the next process — a horizon-bounded shard can finish before a
+        late-starting sender shard transmits at all.  Holding past
+        ``start()`` lets all shards bind first and release together.
+        """
+        self.sim.release()
+
+    def _install_workload(self) -> None:
+        spec = self.spec
+        traffic = spec.traffic
+        if traffic.kind in ("detect_all", "search_probe"):
+            if self.sharded:
+                raise ValueError(
+                    f"{traffic.kind} injects state into every member and "
+                    "cannot run in a sharded session; deploy it loopback"
+                )
+            if traffic.kind == "detect_all":
+                self.data, self.holders = inject_detect_all(self, traffic)
+            else:
+                self.data, self.bufferers, self.requester = inject_search_probe(
+                    self, traffic
+                )
+            self.message_count = 1
+        else:
+            generator = traffic_generator_for(traffic, spec, self.streams)
+            if generator is not None:
+                self.traffic = generator
+                if self.sender is not None:
+                    self.message_count = generator.schedule(self)
+                else:
+                    # Sender lives in another shard; still consume one
+                    # send_times() draw so Poisson streams stay aligned
+                    # with the sender's schedule.
+                    self.message_count = len(generator.send_times())
+        if (
+            self.config.fec_mode != FEC_OFF
+            and spec.fec.flush_after is not None
+            and self.traffic is not None
+            and self.message_count > 0
+            and self.sender is not None
+        ):
+            self.sim.at(
+                self.traffic.end_time() + spec.fec.flush_after,
+                self.sender.flush_parity,
+            )
+        if spec.churn.kind == "random":
+            if self.sharded:
+                raise ValueError(
+                    "random churn draws victims from the whole group and "
+                    "cannot run in a sharded session; deploy it loopback"
+                )
+            duration = spec.churn.duration
+            if duration <= 0:
+                duration = spec.measurement.horizon or spec.measurement.duration
+                if duration is None:
+                    raise ValueError("random churn needs a duration or a horizon")
+            protect = (
+                [default_sender_node(self.hierarchy)]
+                if spec.churn.protect_sender else []
+            )
+            self.churn = random_churn(
+                self,
+                self.streams.stream("scenario", "churn"),
+                duration=duration,
+                leave_rate=spec.churn.leave_rate,
+                crash_rate=spec.churn.crash_rate,
+                join_rate=spec.churn.join_rate,
+                protect=protect,
+            )
+
+    def add_member(self, region_id: int) -> RrmpMember:
+        """A new receiver joins *region_id* mid-session (churn joins)."""
+        node = self.hierarchy.add_member(region_id)
+        member = RrmpMember(
+            node_id=node,
+            sim=self.sim,
+            network=self.network,
+            hierarchy=self.hierarchy,
+            config=self.config,
+            streams=self.streams,
+            trace=self.trace,
+            policy=self._policy_factory(node),
+        )
+        self.members[node] = member
+        self.trace.emit(self.sim.now, "member_joined", node=node, region=region_id)
+        return member
+
+    async def run(self) -> float:
+        """Execute the spec's measurement plan; returns the final virtual time.
+
+        Mirrors :meth:`repro.scenario.materialize.BuiltScenario.run`:
+        sleep to the horizon/duration if bounded, then — for draining
+        (or unbounded) specs — stop the session heartbeat and wait for
+        the group to go quiescent.
+        """
+        measurement = self.spec.measurement
+        bounded = False
+        if self.sharded and measurement.horizon is None \
+                and measurement.duration is None:
+            # One shard cannot observe group-wide quiescence: an idle
+            # shard would "drain" instantly and exit before the sender
+            # shard transmits anything.
+            raise ValueError(
+                "sharded sessions need a horizon or duration; "
+                "group-wide quiescence is not observable from one shard"
+            )
+        if measurement.horizon is not None:
+            await self.sim.sleep_until(measurement.horizon)
+            bounded = True
+        elif measurement.duration is not None:
+            await self.sim.sleep(measurement.duration)
+            bounded = True
+        if measurement.drain or not bounded:
+            if self.sender is not None:
+                self.sender.stop()
+            for agent in self.stability_agents:
+                agent.stop()
+            await self.wait_quiescent()
+        for agent in self.stability_agents:
+            agent.stop()
+        return self.sim.now
+
+    async def wait_quiescent(self, timeout_s: float = 30.0) -> None:
+        """Wait until no timers are pending and no traffic is moving.
+
+        Quiescence must hold for several consecutive polls: a single
+        ``pending_events == 0`` reading can race a datagram in the
+        socket buffer that is about to arm new timers.  Raises
+        :class:`TimeoutError` after *timeout_s* real seconds — a group
+        that will not settle is a bug worth failing loudly on.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout_s
+        settled = 0
+        previous = None
+        while True:
+            stats = self.network.stats
+            state = (self.sim.pending_events, stats.sent, stats.delivered,
+                     stats.dropped)
+            if state[0] == 0 and state == previous:
+                settled += 1
+                if settled >= _QUIESCENCE_SETTLE:
+                    return
+            else:
+                settled = 0
+            previous = state
+            if loop.time() > deadline:
+                raise TimeoutError(
+                    f"group did not quiesce within {timeout_s}s: "
+                    f"{self.sim.pending_events} timers pending, "
+                    f"stats={stats.sent}/{stats.delivered}/{stats.dropped}"
+                )
+            await asyncio.sleep(_QUIESCENCE_POLL_S)
+
+    async def close(self) -> None:
+        """Tear down: stop the sender, cancel timers, close the socket."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.sender is not None:
+            self.sender.stop()
+        self.sim.cancel_all()
+        self.network.close()
+        await asyncio.sleep(0)  # let the transport finish closing
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def snapshot(self, previous: Optional[MetricsSnapshot] = None) -> MetricsSnapshot:
+        """Current metrics sample (see :mod:`repro.metrics.snapshot`)."""
+        return take_snapshot(self, previous)
+
+    def summary(self) -> dict:
+        """Headline metrics, shaped like ``BuiltScenario.summary()``."""
+        latencies = self.recovery_latencies()
+        alive = self.alive_members()
+        from repro.metrics.stats import mean
+        return {
+            "scenario": self.spec.name,
+            "seed": self.spec.seed,
+            "digest": self.spec.digest(),
+            "mode": "live",
+            "speedup": self.sim.speedup,
+            "members": len(self.members),
+            "alive_members": len(alive),
+            "messages": self.message_count,
+            "delivered_fraction": self.delivered_fraction(self.message_count),
+            "recoveries": len(latencies),
+            "mean_recovery_latency_ms": mean(latencies) if latencies else 0.0,
+            "reliability_violations": self.violation_count(),
+            "control_messages": self.control_message_count(),
+            "data_messages": self.data_message_count(),
+            "send_dropped": self.network.stats.send_dropped,
+            "recv_rejected": self.network.recv_rejected,
+            "events_fired": self.sim.events_fired,
+            "time_ms": self.sim.now,
+        }
+
+
+async def run_spec_live(
+    spec: ScenarioSpec,
+    speedup: float = 1.0,
+    oracle=None,
+    local_nodes: Optional[Set[NodeId]] = None,
+    directory: Optional[Dict[NodeId, Address]] = None,
+    bind: Address = ("127.0.0.1", 0),
+) -> LiveSession:
+    """Run one spec end to end over loopback UDP; returns the session.
+
+    *oracle* — an unattached
+    :class:`~repro.validate.oracle.InvariantOracle` — is attached
+    before any member exists and finalized **before** teardown (closing
+    the session cancels every timer, which would make a horizon-bounded
+    run look quiescent and trip the liveness sweeps).
+    """
+    session = LiveSession(spec, speedup=speedup, local_nodes=local_nodes,
+                          directory=directory, bind=bind)
+    if oracle is not None:
+        oracle.attach(session)
+    await session.start()
+    try:
+        await session.run()
+        if oracle is not None:
+            oracle.finish()
+    finally:
+        await session.close()
+    return session

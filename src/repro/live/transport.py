@@ -1,0 +1,294 @@
+"""Asyncio-UDP implementation of the runtime :class:`~repro.live.runtime.Transport`.
+
+One :class:`LiveTransport` owns one UDP socket and carries every member
+registered with it; frames tag ``src``/``dst`` node ids (see
+:mod:`repro.live.codec`), so a whole group can run loopback through a
+single socket, or be sharded across processes via a *directory* mapping
+node ids to ``(host, port)`` addresses.
+
+The send path deliberately mirrors :class:`repro.net.transport.Network`
+step for step — account the send, check membership (``send_dropped``),
+consult the loss shim, apply the latency shim, deliver — so a
+:class:`~repro.scenario.spec.ScenarioSpec`'s ``LossSpec`` drives a real
+run unmodified:
+
+* **Loss shim**: the same :class:`~repro.net.loss.LossModel` objects
+  (e.g. :class:`~repro.net.loss.GilbertElliottLoss`) decide drops
+  before the datagram is written, drawing from the ``("net", "loss")``
+  stream exactly like the simulated network.
+* **Latency shim**: the spec's :class:`~repro.net.latency.LatencyModel`
+  delays the socket write by the modelled one-way time (in virtual
+  milliseconds on the :class:`~repro.live.clock.LiveClock`), so
+  protocol timers see the topology the spec describes rather than bare
+  loopback latency.  A zero-delay model degenerates to an immediate
+  write.
+
+Inbound datagrams that fail to decode are counted and rejected whole
+(:class:`~repro.live.codec.CodecError` never reaches protocol code).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.live.clock import LiveClock
+from repro.live.codec import MAX_DATAGRAM, CodecError, decode_frame, encode_frame
+from repro.net.latency import LatencyModel
+from repro.net.loss import LossModel, NoLoss
+from repro.net.packet import Packet, payload_kind, payload_size, payload_type_name
+from repro.net.topology import NodeId
+from repro.net.transport import Endpoint, NetworkStats
+from repro.sim import RandomStreams, TraceLog
+
+Address = Tuple[str, int]
+
+#: Requested socket buffer size.  Frames are a few hundred bytes, so
+#: this is headroom for tens of thousands of in-flight datagrams.
+SOCKET_BUFFER_BYTES = 4 * 1024 * 1024
+
+#: Datagrams drained per readability callback.  asyncio's own datagram
+#: transport reads exactly one per event-loop iteration, which starves
+#: the receive path whenever timer callbacks dominate an iteration (a
+#: hundred members all firing recovery rounds): repairs then arrive
+#: after the 40 ms idle discard and recovery spirals.  Draining a batch
+#: keeps receives proportional to load.
+READ_BATCH = 512
+
+
+class LiveTransport:
+    """Delivers protocol messages between members over real UDP.
+
+    Parameters mirror :class:`repro.net.transport.Network` (clock in
+    place of the simulator); *directory* optionally maps node ids to
+    peer addresses for multi-process deployments.  Without a directory
+    every destination is assumed local to this socket (loopback mode).
+    """
+
+    def __init__(
+        self,
+        clock: LiveClock,
+        latency: LatencyModel,
+        loss: Optional[LossModel] = None,
+        streams: Optional[RandomStreams] = None,
+        trace: Optional[TraceLog] = None,
+        directory: Optional[Dict[NodeId, Address]] = None,
+    ) -> None:
+        self.clock = clock
+        self.latency = latency
+        self.loss = loss if loss is not None else NoLoss()
+        self._loss_rng = (streams or RandomStreams(0)).stream("net", "loss")
+        self.trace = trace
+        self.stats = NetworkStats()
+        #: Inbound datagrams rejected by the codec (malformed/foreign).
+        self.recv_rejected = 0
+        #: Inbound frames addressed to a node not registered here.
+        self.recv_unknown = 0
+        self.directory = directory
+        self._endpoints: Dict[NodeId, Endpoint] = {}
+        self._sock: Optional[socket.socket] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._local_addr: Optional[Address] = None
+
+    # ------------------------------------------------------------------
+    # Socket lifecycle
+    # ------------------------------------------------------------------
+    async def open(self, host: str = "127.0.0.1", port: int = 0) -> Address:
+        """Bind the UDP socket; returns the bound ``(host, port)``."""
+        if self._sock is not None:
+            raise RuntimeError("transport already open")
+        self._loop = asyncio.get_running_loop()
+        sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        sock.setblocking(False)
+        # Protocol rounds are bursty — every recovering member fires
+        # within the same timer window, and at high clock speedups those
+        # bursts land in real microseconds.  The default UDP receive
+        # buffer silently sheds such bursts (drops the loss shim never
+        # sees), so ask for room for tens of thousands of frames; the
+        # kernel clamps to its own maximum.
+        for option in (socket.SO_RCVBUF, socket.SO_SNDBUF):
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, option, SOCKET_BUFFER_BYTES)
+            except OSError:  # pragma: no cover - platform-dependent
+                pass
+        sock.bind((host, port))
+        self._sock = sock
+        self._local_addr = sock.getsockname()[:2]
+        self._loop.add_reader(sock.fileno(), self._on_readable)
+        return self._local_addr
+
+    def close(self) -> None:
+        """Close the socket.  Idempotent."""
+        if self._sock is not None:
+            if self._loop is not None:
+                self._loop.remove_reader(self._sock.fileno())
+            self._sock.close()
+            self._sock = None
+
+    @property
+    def local_address(self) -> Optional[Address]:
+        """Bound address, or ``None`` before :meth:`open`."""
+        return self._local_addr
+
+    # ------------------------------------------------------------------
+    # Registration (the Transport protocol surface)
+    # ------------------------------------------------------------------
+    def register(self, node_id: NodeId, endpoint: Endpoint) -> None:
+        """Attach *endpoint* so it can receive frames addressed to it."""
+        self._endpoints[node_id] = endpoint
+
+    def unregister(self, node_id: NodeId) -> None:
+        """Detach a node (frames in flight to it are dropped on arrival)."""
+        self._endpoints.pop(node_id, None)
+
+    def is_registered(self, node_id: NodeId) -> bool:
+        """Whether *node_id* currently has an attached endpoint."""
+        return node_id in self._endpoints
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def unicast(self, src: NodeId, dst: NodeId, payload: Any) -> Optional[Packet]:
+        """Send *payload* from *src* to *dst* over UDP."""
+        return self._send(src, dst, payload, group=None)
+
+    def multicast(
+        self,
+        src: NodeId,
+        dsts: Iterable[NodeId],
+        payload: Any,
+        group: str = "group",
+        include_sender: bool = False,
+    ) -> int:
+        """Fan *payload* out as one datagram per receiver."""
+        new_message = getattr(self.loss, "new_message", None)
+        if new_message is not None:
+            new_message()
+        scheduled = 0
+        for dst in dsts:
+            if dst == src and not include_sender:
+                continue
+            if self._send(src, dst, payload, group=group) is not None:
+                scheduled += 1
+        return scheduled
+
+    def rtt(self, src: NodeId, dst: NodeId) -> float:
+        """Round-trip estimate from the modelled latency (virtual ms)."""
+        return self.latency.rtt(src, dst)
+
+    def _send(self, src: NodeId, dst: NodeId, payload: Any,
+              group: Optional[str]) -> Optional[Packet]:
+        kind = payload_kind(payload)
+        size = payload_size(payload)
+        type_name = payload_type_name(payload)
+        self.stats.record_send(type_name, kind, size)
+        now = self.clock.now
+        if self.trace is not None:
+            self.trace.emit(now, "packet_sent", src=src, dst=dst,
+                            type=type_name, packet_kind=kind)
+        addr = self._address_of(dst)
+        if addr is None:
+            # No endpoint here and no directory entry: the destination
+            # left, crashed, or was never deployed.  Same observable
+            # outcome as the simulated network's membership check.
+            self.stats.dropped += 1
+            self.stats.send_dropped += 1
+            if self.trace is not None:
+                self.trace.emit(now, "send_dropped", src=src, dst=dst,
+                                type=type_name, reason="unregistered")
+            return None
+        if self.loss.is_lost(src, dst, kind, self._loss_rng):
+            self.stats.dropped += 1
+            if self.trace is not None:
+                self.trace.emit(now, "packet_dropped", src=src, dst=dst,
+                                type=type_name)
+            return None
+        delay = self.latency.one_way(src, dst)
+        packet = Packet(src=src, dst=dst, payload=payload, kind=kind,
+                        send_time=now, deliver_time=now + delay,
+                        multicast_group=group)
+        frame = encode_frame(src, dst, payload, send_time=now, group=group)
+        if delay > 0:
+            self.clock.after(delay, self._transmit, frame, addr)
+        else:
+            self._transmit(frame, addr)
+        return packet
+
+    def _address_of(self, dst: NodeId) -> Optional[Address]:
+        """Where datagrams for *dst* go; ``None`` means drop the send."""
+        if self.directory is not None:
+            addr = self.directory.get(dst)
+            if addr is None:
+                return None
+            # A local destination must also still be registered — a
+            # departed co-located member keeps sim semantics.
+            if addr == self._local_addr and dst not in self._endpoints:
+                return None
+            return addr
+        if dst not in self._endpoints:
+            return None
+        assert self._local_addr is not None, "open() the transport before sending"
+        return self._local_addr
+
+    def _transmit(self, frame: bytes, addr: Address) -> None:
+        if self._sock is None:
+            return  # closed while the latency shim held the frame
+        try:
+            self._sock.sendto(frame, addr)
+        except (BlockingIOError, InterruptedError):  # pragma: no cover
+            # Kernel send buffer full: indistinguishable from wire loss
+            # at the receiver, so account it like one.
+            self.stats.dropped += 1
+        except OSError:  # pragma: no cover - peer gone, route down, ...
+            self.stats.dropped += 1
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _on_readable(self) -> None:
+        """Drain up to :data:`READ_BATCH` datagrams from the socket.
+
+        Registered with ``loop.add_reader``; called once per event-loop
+        iteration while the socket has data.
+        """
+        sock = self._sock
+        if sock is None:
+            return
+        for _ in range(READ_BATCH):
+            try:
+                data, addr = sock.recvfrom(MAX_DATAGRAM)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:  # pragma: no cover - closing race
+                break
+            self.datagram_received(data, addr)
+
+    def datagram_received(self, data: bytes, addr: Address) -> None:
+        """Decode one inbound datagram and hand it to its endpoint."""
+        try:
+            frame = decode_frame(data)
+        except CodecError:
+            self.recv_rejected += 1
+            if self.trace is not None:
+                self.trace.emit(self.clock.now, "recv_rejected",
+                                peer=list(addr), size=len(data))
+            return
+        endpoint = self._endpoints.get(frame.dst)
+        if endpoint is None:
+            # Departed while in flight, or a stale directory points a
+            # peer at us: mirrors the simulated in-flight drop.
+            self.recv_unknown += 1
+            self.stats.dropped += 1
+            return
+        now = self.clock.now
+        packet = Packet(src=frame.src, dst=frame.dst, payload=frame.payload,
+                        kind=payload_kind(frame.payload),
+                        send_time=frame.send_time, deliver_time=now,
+                        multicast_group=frame.group)
+        self.stats.delivered += 1
+        if self.trace is not None:
+            self.trace.emit(now, "packet_delivered", src=packet.src,
+                            dst=packet.dst,
+                            type=payload_type_name(packet.payload))
+        endpoint.on_packet(packet)

@@ -1,0 +1,105 @@
+"""Periodic metrics snapshots for long-running (daemon-mode) groups.
+
+The experiment harness measures a run after the fact, from its trace;
+a live deployment needs the same headline numbers *while it runs*.
+:func:`take_snapshot` reads them off any wired member group (simulated
+or live) without touching protocol state, and chains snapshots so rate
+quantities (goodput) come out per interval rather than cumulative.
+
+The ``live daemon`` CLI emits one JSON line per snapshot — the natural
+input for tailing, plotting, or shipping to a collector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+from repro.metrics.stats import mean
+from repro.sim.tracing import TraceLog, TraceRecord
+
+
+class DeliveryCounter:
+    """Counts ``member_received`` records as they are emitted.
+
+    Subscription-based, so it works with ``keep_records=False`` traces
+    (long soak runs must not hoard records just to count deliveries).
+    """
+
+    def __init__(self, trace: TraceLog) -> None:
+        self.count = 0
+        trace.subscribe(self._on_record, kind="member_received")
+
+    def _on_record(self, _record: TraceRecord) -> None:
+        self.count += 1
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One sample of a running group's health."""
+
+    time_ms: float                    #: virtual clock at sample time
+    alive_members: int
+    buffer_occupancy: int             #: total buffered messages
+    long_term_buffered: int           #: of which long-term (paper §3.2)
+    delivered_total: int              #: cumulative member deliveries
+    recoveries_completed: int
+    mean_recovery_latency_ms: float
+    reliability_violations: int
+    control_messages: int
+    data_messages: int
+    send_dropped: int                 #: sends to unregistered nodes
+    goodput_msgs_per_s: float         #: deliveries/s since the previous
+                                      #: snapshot (cumulative if first)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready payload (the daemon's line format)."""
+        return asdict(self)
+
+
+def long_term_buffered(group) -> int:
+    """Total long-term-buffered messages across alive members.
+
+    Policies without a long-term phase (baselines) count zero.
+    """
+    total = 0
+    for member in group.alive_members():
+        buffer = getattr(member.policy, "buffer", None)
+        if buffer is not None:
+            total += getattr(buffer, "long_term_count", 0)
+    return total
+
+
+def take_snapshot(group, previous: Optional[MetricsSnapshot] = None) -> MetricsSnapshot:
+    """Sample *group* (an :class:`~repro.protocol.rrmp.MemberGroup`).
+
+    *previous* — the last snapshot of the same group — turns
+    ``goodput_msgs_per_s`` into a per-interval rate; without it the
+    rate is computed over the whole run so far.
+    """
+    now = group.sim.now
+    counter = getattr(group, "deliveries", None)
+    delivered = counter.count if counter is not None \
+        else group.trace.count("member_received")
+    latencies = group.recovery_latencies()
+    if previous is not None:
+        delta_msgs = delivered - previous.delivered_total
+        delta_ms = now - previous.time_ms
+    else:
+        delta_msgs = delivered
+        delta_ms = now
+    goodput = (delta_msgs / (delta_ms / 1000.0)) if delta_ms > 0 else 0.0
+    return MetricsSnapshot(
+        time_ms=now,
+        alive_members=len(group.alive_members()),
+        buffer_occupancy=group.buffer_occupancy(),
+        long_term_buffered=long_term_buffered(group),
+        delivered_total=delivered,
+        recoveries_completed=len(latencies),
+        mean_recovery_latency_ms=mean(latencies) if latencies else 0.0,
+        reliability_violations=group.violation_count(),
+        control_messages=group.control_message_count(),
+        data_messages=group.data_message_count(),
+        send_dropped=group.network.stats.send_dropped,
+        goodput_msgs_per_s=goodput,
+    )

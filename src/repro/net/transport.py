@@ -39,6 +39,11 @@ class NetworkStats:
     sent: int = 0
     delivered: int = 0
     dropped: int = 0
+    #: Sends addressed to a destination with no registered endpoint
+    #: (the node left, crashed, or never existed).  A subset of
+    #: ``dropped``, counted separately so a misrouted deployment is
+    #: distinguishable from transport loss.
+    send_dropped: int = 0
     bytes_sent: int = 0
     sent_by_type: Dict[str, int] = field(default_factory=dict)
     bytes_by_type: Dict[str, int] = field(default_factory=dict)
@@ -78,7 +83,7 @@ class Network:
         substream, so loss outcomes never perturb protocol randomness.
     trace:
         Optional trace log; emits ``packet_sent`` / ``packet_dropped`` /
-        ``packet_delivered`` records when provided.
+        ``send_dropped`` / ``packet_delivered`` records when provided.
     """
 
     def __init__(
@@ -194,11 +199,15 @@ class Network:
             # (and is accounted) but the packet goes nowhere — checked
             # before the latency model, which cannot place a node the
             # hierarchy no longer contains.  The loss RNG is untouched
-            # so surviving traffic keeps its sample path.
+            # so surviving traffic keeps its sample path.  Counted under
+            # its own kind: a `send_dropped` is a membership fact, not a
+            # loss-model outcome, and deployments watch it to catch
+            # stale directories.
             self.stats.dropped += 1
+            self.stats.send_dropped += 1
             if self.trace is not None:
-                self.trace.emit(now, "packet_dropped", src=src, dst=dst,
-                                type=type_name, reason="departed")
+                self.trace.emit(now, "send_dropped", src=src, dst=dst,
+                                type=type_name, reason="unregistered")
             return None
         if self.loss.is_lost(src, dst, kind, self._loss_rng):
             self.stats.dropped += 1

@@ -183,3 +183,20 @@ class HandoffMessage:
     def seq(self) -> Seq:
         """Sequence number of the transferred message."""
         return self.data.seq
+
+
+#: Every message type that can cross a real wire.  The live UDP codec
+#: (:mod:`repro.live.codec`) must know how to encode and decode each of
+#: these; its tests iterate this tuple so adding a message type without
+#: wire support fails loudly instead of at the first live run.
+WIRE_MESSAGE_TYPES = (
+    DataMessage,
+    LocalRequest,
+    RemoteRequest,
+    Repair,
+    ParityMessage,
+    SessionMessage,
+    SearchRequest,
+    HaveReply,
+    HandoffMessage,
+)

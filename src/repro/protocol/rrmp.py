@@ -48,7 +48,97 @@ def two_phase_policy_factory(config: RrmpConfig) -> PolicyFactory:
     return build
 
 
-class RrmpSimulation:
+def default_sender_node(hierarchy: Hierarchy) -> NodeId:
+    """The conventional sender: first member of the first root region.
+
+    Shared by the simulated facade and the live runtime so one spec
+    elects the same sender in both worlds.
+    """
+    for region_id in sorted(hierarchy.regions):
+        region = hierarchy.regions[region_id]
+        if region.parent_id is None and region.members:
+            return region.members[0]
+    raise ValueError("hierarchy has no root region with members")
+
+
+class MemberGroup:
+    """Query surface shared by every fully-wired RRMP group.
+
+    Mixed into :class:`RrmpSimulation` (members over the simulated
+    network) and :class:`repro.live.session.LiveSession` (members over
+    asyncio UDP).  Implementations provide ``members`` (dict of
+    :class:`~repro.protocol.member.RrmpMember`), ``trace`` (a
+    :class:`~repro.sim.TraceLog`) and ``network`` (anything with a
+    ``stats`` :class:`~repro.net.transport.NetworkStats`); everything
+    here derives from those, which is what lets experiment code and the
+    invariant oracle treat a live group exactly like a simulated one.
+    """
+
+    members: Dict[NodeId, RrmpMember]
+
+    def member(self, node_id: NodeId) -> RrmpMember:
+        """The member instance for *node_id*."""
+        return self.members[node_id]
+
+    def alive_members(self) -> List[RrmpMember]:
+        """Members that have not left or crashed."""
+        return [member for member in self.members.values() if member.alive]
+
+    def received_count(self, seq: Seq) -> int:
+        """How many alive members have received message *seq*."""
+        return sum(1 for m in self.alive_members() if m.has_received(seq))
+
+    def buffering_count(self, seq: Seq) -> int:
+        """How many alive members currently buffer message *seq*."""
+        return sum(1 for m in self.alive_members() if m.is_buffering(seq))
+
+    def all_received(self, seq: Seq) -> bool:
+        """Whether every alive member has received *seq*."""
+        return all(m.has_received(seq) for m in self.alive_members())
+
+    def delivered_fraction(self, message_count: int) -> float:
+        """Fraction of (alive member, message 1..*message_count*) pairs
+        delivered so far; 1.0 when there is nothing to deliver."""
+        members = self.alive_members()
+        if not members or message_count == 0:
+            return 1.0
+        delivered = sum(
+            1
+            for member in members
+            for seq in range(1, message_count + 1)
+            if member.has_received(seq)
+        )
+        return delivered / (len(members) * message_count)
+
+    def buffer_occupancy(self) -> int:
+        """Total buffered messages across all alive members."""
+        return sum(m.buffered_count for m in self.alive_members())
+
+    def occupancy_by_node(self) -> Dict[NodeId, int]:
+        """Current per-member buffer occupancy."""
+        return {m.node_id: m.buffered_count for m in self.alive_members()}
+
+    # ------------------------------------------------------------------
+    # Trace-derived statistics
+    # ------------------------------------------------------------------
+    def recovery_latencies(self) -> List[float]:
+        """Latencies (ms) of all completed recoveries."""
+        return [record["latency"] for record in self.trace.of_kind("recovery_completed")]
+
+    def violation_count(self) -> int:
+        """Recoveries that gave up (reliability violations, §5)."""
+        return self.trace.count("reliability_violation")
+
+    def control_message_count(self) -> int:
+        """Control-plane transmissions so far (traffic overhead)."""
+        return self.network.stats.control_messages()
+
+    def data_message_count(self) -> int:
+        """Data-plane transmissions so far."""
+        return self.network.stats.data_messages()
+
+
+class RrmpSimulation(MemberGroup):
     """A fully-wired RRMP group over a simulated network.
 
     Parameters
@@ -139,11 +229,7 @@ class RrmpSimulation:
         return member
 
     def _default_sender_node(self) -> NodeId:
-        for region_id in sorted(self.hierarchy.regions):
-            region = self.hierarchy.regions[region_id]
-            if region.parent_id is None and region.members:
-                return region.members[0]
-        raise ValueError("hierarchy has no root region with members")
+        return default_sender_node(self.hierarchy)
 
     # ------------------------------------------------------------------
     # Execution
@@ -159,66 +245,6 @@ class RrmpSimulation:
         self.sender.stop()
         return self.sim.drain(max_events=max_events)
 
-    # ------------------------------------------------------------------
-    # Group-level queries used by experiments and tests
-    # ------------------------------------------------------------------
-    def member(self, node_id: NodeId) -> RrmpMember:
-        """The member instance for *node_id*."""
-        return self.members[node_id]
-
-    def alive_members(self) -> List[RrmpMember]:
-        """Members that have not left or crashed."""
-        return [member for member in self.members.values() if member.alive]
-
-    def received_count(self, seq: Seq) -> int:
-        """How many alive members have received message *seq*."""
-        return sum(1 for m in self.alive_members() if m.has_received(seq))
-
-    def buffering_count(self, seq: Seq) -> int:
-        """How many alive members currently buffer message *seq*."""
-        return sum(1 for m in self.alive_members() if m.is_buffering(seq))
-
-    def all_received(self, seq: Seq) -> bool:
-        """Whether every alive member has received *seq*."""
-        return all(m.has_received(seq) for m in self.alive_members())
-
-    def delivered_fraction(self, message_count: int) -> float:
-        """Fraction of (alive member, message 1..*message_count*) pairs
-        delivered so far; 1.0 when there is nothing to deliver."""
-        members = self.alive_members()
-        if not members or message_count == 0:
-            return 1.0
-        delivered = sum(
-            1
-            for member in members
-            for seq in range(1, message_count + 1)
-            if member.has_received(seq)
-        )
-        return delivered / (len(members) * message_count)
-
-    def buffer_occupancy(self) -> int:
-        """Total buffered messages across all alive members."""
-        return sum(m.buffered_count for m in self.alive_members())
-
-    def occupancy_by_node(self) -> Dict[NodeId, int]:
-        """Current per-member buffer occupancy."""
-        return {m.node_id: m.buffered_count for m in self.alive_members()}
-
-    # ------------------------------------------------------------------
-    # Trace-derived statistics
-    # ------------------------------------------------------------------
-    def recovery_latencies(self) -> List[float]:
-        """Latencies (ms) of all completed recoveries."""
-        return [record["latency"] for record in self.trace.of_kind("recovery_completed")]
-
-    def violation_count(self) -> int:
-        """Recoveries that gave up (reliability violations, §5)."""
-        return self.trace.count("reliability_violation")
-
-    def control_message_count(self) -> int:
-        """Control-plane transmissions so far (traffic overhead)."""
-        return self.network.stats.control_messages()
-
-    def data_message_count(self) -> int:
-        """Data-plane transmissions so far."""
-        return self.network.stats.data_messages()
+    # Group-level queries (member, alive_members, delivered_fraction,
+    # occupancy, trace statistics, ...) are inherited from MemberGroup,
+    # shared with the live UDP runtime.

@@ -81,7 +81,8 @@ from repro.workloads.traffic import (
 PolicyFactory = Callable[[NodeId], BufferPolicy]
 
 
-def _build_hierarchy(topology: TopologySpec) -> Hierarchy:
+def build_hierarchy(topology: TopologySpec) -> Hierarchy:
+    """The spec's region hierarchy (shared with the live runtime)."""
     if topology.kind == "single_region":
         return single_region(topology.n)
     if topology.kind == "chain":
@@ -91,7 +92,8 @@ def _build_hierarchy(topology: TopologySpec) -> Hierarchy:
     return balanced_tree(topology.depth, topology.fanout, topology.n)
 
 
-def _build_config(policy: PolicySpec, fec: FecSpec) -> RrmpConfig:
+def build_config(policy: PolicySpec, fec: FecSpec) -> RrmpConfig:
+    """Protocol configuration from the policy and FEC specs."""
     return RrmpConfig(
         remote_lambda=policy.remote_lambda,
         long_term_c=policy.c,
@@ -107,7 +109,7 @@ def _build_config(policy: PolicySpec, fec: FecSpec) -> RrmpConfig:
     )
 
 
-def _policy_factory(policy: PolicySpec) -> Optional[PolicyFactory]:
+def policy_factory_for(policy: PolicySpec) -> Optional[PolicyFactory]:
     """``None`` selects the facade's default (two-phase from config)."""
     if policy.kind == "two_phase":
         return None
@@ -124,7 +126,8 @@ def _policy_factory(policy: PolicySpec) -> Optional[PolicyFactory]:
     return lambda _n: NoBufferPolicy()
 
 
-def _transport_loss(loss: LossSpec) -> Optional[LossModel]:
+def transport_loss_for(loss: LossSpec) -> Optional[LossModel]:
+    """The spec's transport-level loss model (``None`` = lossless)."""
     if loss.kind != "gilbert_elliott":
         return None
     return GilbertElliottLoss(
@@ -135,7 +138,8 @@ def _transport_loss(loss: LossSpec) -> Optional[LossModel]:
     )
 
 
-def _outcome(loss: LossSpec) -> Optional[MulticastOutcome]:
+def outcome_for(loss: LossSpec) -> Optional[MulticastOutcome]:
+    """The spec's IP-multicast outcome model (``None`` = perfect)."""
     if loss.kind == "bernoulli":
         return BernoulliOutcome(loss.p)
     if loss.kind == "fixed_holders":
@@ -143,21 +147,28 @@ def _outcome(loss: LossSpec) -> Optional[MulticastOutcome]:
     return None  # none / gilbert_elliott -> perfect; region_correlated -> post-wire
 
 
-def _traffic_generator(
-    traffic: TrafficSpec, built: "BuiltScenario"
+def traffic_generator_for(
+    traffic: TrafficSpec, spec: ScenarioSpec, streams
 ) -> Optional[TrafficGenerator]:
+    """The spec's stream workload (``None`` for probe/none kinds).
+
+    *streams* is the run's :class:`~repro.sim.RandomStreams`; Poisson
+    arrivals draw from its ``("scenario", "traffic")`` substream, so
+    sim and live materializations of one spec schedule identical send
+    instants.
+    """
     if traffic.kind == "uniform":
         return UniformStream(traffic.count, traffic.interval, start=traffic.start)
     if traffic.kind == "poisson":
         duration = traffic.duration
         if duration <= 0:
-            horizon = built.spec.measurement.horizon or built.spec.measurement.duration
+            horizon = spec.measurement.horizon or spec.measurement.duration
             if horizon is None:
                 raise ValueError(
                     "poisson traffic needs a duration or a measurement horizon"
                 )
             duration = horizon - traffic.start
-        rng = built.simulation.streams.stream("scenario", "traffic")
+        rng = streams.stream("scenario", "traffic")
         return PoissonStream(traffic.rate, duration, rng, start=traffic.start)
     if traffic.kind == "burst":
         return BurstStream([tuple(burst) for burst in traffic.bursts])
@@ -261,35 +272,41 @@ class BuiltScenario:
         return result
 
 
-def _inject_detect_all(built: BuiltScenario, traffic: TrafficSpec) -> None:
-    """The Figure 6/7 workload: k holders, everyone else detects at once."""
-    simulation = built.simulation
-    hierarchy = simulation.hierarchy
+def inject_detect_all(group, traffic: TrafficSpec):
+    """The Figure 6/7 workload: k holders, everyone else detects at once.
+
+    *group* is any wired member group (an
+    :class:`~repro.protocol.rrmp.RrmpSimulation` or a live session)
+    exposing ``hierarchy``, ``members``, ``sender`` and ``streams``.
+    Returns ``(data, holders)``.
+    """
+    hierarchy = group.hierarchy
     k = traffic.holders
     if k > len(hierarchy.nodes):
         raise ValueError(
             f"detect_all holders must be <= group size, got k={k}, "
             f"n={len(hierarchy.nodes)}"
         )
-    data = DataMessage(seq=1, sender=simulation.sender.node_id)
-    rng = simulation.streams.stream("scenario", "holders")
+    data = DataMessage(seq=1, sender=group.sender.node_id)
+    rng = group.streams.stream("scenario", "holders")
     holders = sorted(rng.sample(hierarchy.nodes, k))
     holder_set = set(holders)
     for node in hierarchy.nodes:
-        member = simulation.members[node]
+        member = group.members[node]
         if node in holder_set:
             member.inject_receive(data, via="multicast")
         else:
             member.inject_loss_detection(data.seq)
-    built.data = data
-    built.holders = holders
-    built.message_count = 1
+    return data, holders
 
 
-def _inject_search_probe(built: BuiltScenario, traffic: TrafficSpec) -> None:
-    """The Figure 8/9 workload: b bufferers, one downstream requester."""
-    simulation = built.simulation
-    hierarchy = simulation.hierarchy
+def inject_search_probe(group, traffic: TrafficSpec):
+    """The Figure 8/9 workload: b bufferers, one downstream requester.
+
+    Same *group* contract as :func:`inject_detect_all`; returns
+    ``(data, bufferers, requester)``.
+    """
+    hierarchy = group.hierarchy
     region_ids = sorted(hierarchy.regions)
     if len(region_ids) < 2:
         raise ValueError("search_probe needs at least two regions")
@@ -302,27 +319,24 @@ def _inject_search_probe(built: BuiltScenario, traffic: TrafficSpec) -> None:
             f"bufferers must be in [0, n], got {traffic.bufferers}"
         )
     requester = requester_region.members[0]
-    data = DataMessage(seq=1, sender=simulation.sender.node_id)
-    rng = simulation.streams.stream("scenario", "bufferers")
+    data = DataMessage(seq=1, sender=group.sender.node_id)
+    rng = group.streams.stream("scenario", "bufferers")
     chosen = sorted(rng.sample(region.members, traffic.bufferers))
     chosen_set = set(chosen)
     for node in region.members:
-        member = simulation.members[node]
+        member = group.members[node]
         if node in chosen_set:
             member.install_long_term(data)
         else:
             member.force_received(data)
-    simulation.members[requester].inject_loss_detection(data.seq)
-    built.data = data
-    built.bufferers = chosen
-    built.requester = requester
-    built.message_count = 1
+    group.members[requester].inject_loss_detection(data.seq)
+    return data, chosen, requester
 
 
 def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
     """Materialize *spec*: simulation built, traffic and churn scheduled."""
-    hierarchy = _build_hierarchy(spec.topology)
-    config = _build_config(spec.policy, spec.fec)
+    hierarchy = build_hierarchy(spec.topology)
+    config = build_config(spec.policy, spec.fec)
     simulation = RrmpSimulation(
         hierarchy,
         config=config,
@@ -332,9 +346,9 @@ def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
             intra_one_way=spec.topology.intra_one_way,
             inter_one_way=spec.topology.inter_one_way,
         ),
-        loss=_transport_loss(spec.loss),
-        outcome=_outcome(spec.loss),
-        policy_factory=_policy_factory(spec.policy),
+        loss=transport_loss_for(spec.loss),
+        outcome=outcome_for(spec.loss),
+        policy_factory=policy_factory_for(spec.policy),
         keep_trace=spec.measurement.keep_trace,
     )
     if spec.loss.kind == "region_correlated":
@@ -373,11 +387,15 @@ def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
         built.node_probe = OccupancyProbe(simulation.sim, sample_peak, period=period)
 
     if spec.traffic.kind == "detect_all":
-        _inject_detect_all(built, spec.traffic)
+        built.data, built.holders = inject_detect_all(simulation, spec.traffic)
+        built.message_count = 1
     elif spec.traffic.kind == "search_probe":
-        _inject_search_probe(built, spec.traffic)
+        built.data, built.bufferers, built.requester = inject_search_probe(
+            simulation, spec.traffic
+        )
+        built.message_count = 1
     else:
-        generator = _traffic_generator(spec.traffic, built)
+        generator = traffic_generator_for(spec.traffic, spec, simulation.streams)
         if generator is not None:
             built.traffic = generator
             built.message_count = generator.schedule(simulation)

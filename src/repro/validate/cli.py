@@ -5,6 +5,7 @@ Wired into the ``rrmp-experiments`` entry point::
     rrmp-experiments validate run scale --json
     rrmp-experiments validate fuzz --trials 200 --seed 0 --artifacts out/
     rrmp-experiments validate replay out/repro_000042_ab12cd34ef56.json
+    rrmp-experiments validate replay out/   # every artifact, summarized
     rrmp-experiments validate digest wan_burst_loss
 
 ``run`` executes one registered scenario (or a spec JSON file) with
@@ -65,10 +66,12 @@ def add_validate_parser(commands) -> None:
                       help="print the fuzz report as JSON")
 
     replay = actions.add_parser(
-        "replay", help="re-run the spec stored in a fuzz repro artifact",
+        "replay", help="re-run the spec stored in a fuzz repro artifact "
+                       "(or every artifact in a directory)",
     )
     replay.add_argument("artifact", help="path to a repro artifact (or bare "
-                                         "spec) JSON file")
+                                         "spec) JSON file, or a directory "
+                                         "of artifacts")
     replay.add_argument("--json", action="store_true", dest="as_json",
                         help="print the oracle report as JSON")
 
@@ -86,6 +89,8 @@ def main_validate(args: argparse.Namespace) -> int:
     if command == "fuzz":
         return _cmd_fuzz(args)
     if command == "replay":
+        if os.path.isdir(args.artifact):
+            return _replay_directory(args.artifact, as_json=args.as_json)
         try:
             spec = load_artifact_spec(args.artifact)
         except (OSError, ValueError, KeyError) as error:
@@ -151,6 +156,63 @@ def _run_under_oracle(spec: ScenarioSpec, as_json: bool) -> int:
     if not outcome.failed:
         print("  all invariants hold")
     return 1 if outcome.failed else 0
+
+
+def _replay_directory(directory: str, as_json: bool) -> int:
+    """Replay every ``*.json`` artifact under *directory*, summarize.
+
+    Exit codes: 0 = every artifact replays clean, 1 = at least one
+    still fails (or fails to load), 2 = no artifacts found.
+    """
+    paths = sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )
+    if not paths:
+        print(f"error: no *.json artifacts in {directory!r}", file=sys.stderr)
+        return 2
+    results = []
+    for path in paths:
+        entry = {"artifact": path}
+        try:
+            spec = load_artifact_spec(path)
+        except (OSError, ValueError, KeyError) as error:
+            entry.update(status="load_error", error=str(error))
+            results.append(entry)
+            continue
+        outcome = run_spec(spec)
+        entry.update(
+            status="fail" if outcome.failed else "ok",
+            scenario=spec.name,
+            seed=spec.seed,
+            violation_count=outcome.violation_count,
+            error=outcome.error,
+        )
+        results.append(entry)
+    failed = [r for r in results if r["status"] != "ok"]
+    if as_json:
+        print(json.dumps({
+            "directory": directory,
+            "artifacts": len(results),
+            "failures": len(failed),
+            "results": results,
+        }))
+        return 1 if failed else 0
+    print(f"== replay {directory} ({len(results)} artifacts) ==")
+    for entry in results:
+        name = os.path.basename(entry["artifact"])
+        if entry["status"] == "load_error":
+            print(f"  LOAD ERROR  {name}: {entry['error']}")
+        elif entry["status"] == "fail":
+            detail = entry["error"] or f"{entry['violation_count']} violations"
+            print(f"  FAIL        {name}  {entry['scenario']} "
+                  f"(seed {entry['seed']}): {detail}")
+        else:
+            print(f"  ok          {name}  {entry['scenario']} "
+                  f"(seed {entry['seed']})")
+    print(f"  {len(results) - len(failed)}/{len(results)} replay clean")
+    return 1 if failed else 0
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:

@@ -1,0 +1,235 @@
+"""Tests for the asyncio-UDP live transport."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.live.clock import LiveClock
+from repro.live.codec import MAGIC, encode_frame
+from repro.live.runtime import Transport
+from repro.live.transport import LiveTransport
+from repro.net.latency import ConstantLatency
+from repro.net.loss import BernoulliLoss
+from repro.net.transport import Network
+from repro.protocol.messages import DataMessage, LocalRequest
+from repro.sim import RandomStreams, Simulator, TraceLog
+
+
+class Sink:
+    """A minimal endpoint that records delivered packets."""
+
+    def __init__(self):
+        self.packets = []
+
+    def on_packet(self, packet):
+        self.packets.append(packet)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def open_transport(**kwargs):
+    clock = LiveClock(speedup=kwargs.pop("speedup", 100.0))
+    transport = LiveTransport(clock, ConstantLatency(1.0), **kwargs)
+    await transport.open()
+    return clock, transport
+
+
+async def drain(clock, virtual_ms=50.0):
+    await clock.sleep(virtual_ms)
+
+
+class TestProtocolSurface:
+    def test_both_transports_satisfy_the_runtime_protocol(self):
+        async def main():
+            _clock, live = await open_transport()
+            assert isinstance(live, Transport)
+            live.close()
+            sim_net = Network(Simulator(), ConstantLatency(1.0))
+            assert isinstance(sim_net, Transport)
+
+        run(main())
+
+
+class TestDelivery:
+    def test_unicast_round_trip(self):
+        async def main():
+            clock, transport = await open_transport()
+            sink = Sink()
+            transport.register(1, sink)
+            message = DataMessage(seq=1, sender=0)
+            packet = transport.unicast(0, 1, message)
+            assert packet is not None
+            await drain(clock)
+            assert [p.payload for p in sink.packets] == [message]
+            assert transport.stats.delivered == 1
+            transport.close()
+
+        run(main())
+
+    def test_multicast_fans_out_and_skips_sender(self):
+        async def main():
+            clock, transport = await open_transport()
+            sinks = {n: Sink() for n in range(4)}
+            for n, sink in sinks.items():
+                transport.register(n, sink)
+            message = DataMessage(seq=2, sender=0)
+            scheduled = transport.multicast(0, list(sinks), message)
+            assert scheduled == 3
+            await drain(clock)
+            assert sinks[0].packets == []
+            for n in (1, 2, 3):
+                assert [p.payload for p in sinks[n].packets] == [message]
+            transport.close()
+
+        run(main())
+
+    def test_latency_shim_delays_by_virtual_time(self):
+        async def main():
+            clock = LiveClock(speedup=100.0)
+            transport = LiveTransport(clock, ConstantLatency(20.0))
+            await transport.open()
+            sink = Sink()
+            transport.register(1, sink)
+            transport.unicast(0, 1, DataMessage(seq=1, sender=0))
+            await clock.sleep(5.0)
+            assert sink.packets == []  # still in the latency shim
+            await clock.sleep(60.0)
+            [packet] = sink.packets
+            assert packet.deliver_time >= 20.0
+            transport.close()
+
+        run(main())
+
+    def test_loss_shim_drops_with_the_seeded_stream(self):
+        async def main():
+            clock, transport = await open_transport(
+                loss=BernoulliLoss(probability=1.0),  # data only
+                streams=RandomStreams(7),
+            )
+            sink = Sink()
+            transport.register(1, sink)
+            assert transport.unicast(0, 1, DataMessage(seq=1, sender=0)) is None
+            packet = transport.unicast(0, 1, LocalRequest(seq=1, requester=0))
+            assert packet is not None
+            await drain(clock)
+            assert [type(p.payload).__name__ for p in sink.packets] \
+                == ["LocalRequest"]
+            assert transport.stats.dropped == 1
+            transport.close()
+
+        run(main())
+
+
+class TestSendDropped:
+    def test_unregistered_destination_counts_send_dropped(self):
+        async def main():
+            trace = TraceLog()
+            clock, transport = await open_transport(trace=trace)
+            transport.register(0, Sink())
+            assert transport.unicast(0, 99, DataMessage(seq=1, sender=0)) is None
+            assert transport.stats.send_dropped == 1
+            assert transport.stats.dropped == 1
+            [record] = trace.of_kind("send_dropped")
+            assert record["dst"] == 99
+            assert record["reason"] == "unregistered"
+            transport.close()
+
+        run(main())
+
+    def test_directory_mode_requires_local_registration(self):
+        """A departed co-located member keeps sim semantics even when
+        the directory still lists it."""
+        async def main():
+            clock, transport = await open_transport(directory={})
+            transport.directory = {0: transport.local_address,
+                                   1: transport.local_address}
+            transport.register(0, Sink())  # 1 is in the directory, not here
+            assert transport.unicast(0, 1, DataMessage(seq=1, sender=0)) is None
+            assert transport.stats.send_dropped == 1
+            transport.close()
+
+        run(main())
+
+
+class TestInboundRejection:
+    def test_malformed_datagrams_are_counted_and_dropped(self):
+        async def main():
+            clock, transport = await open_transport()
+            sink = Sink()
+            transport.register(1, sink)
+            transport._sock.sendto(b"not an rrmp frame",
+                                   transport.local_address)
+            transport._sock.sendto(MAGIC + b"{broken json",
+                                   transport.local_address)
+            await drain(clock)
+            assert transport.recv_rejected == 2
+            assert sink.packets == []
+            transport.close()
+
+        run(main())
+
+    def test_frame_for_unknown_node_is_dropped(self):
+        async def main():
+            clock, transport = await open_transport()
+            frame = encode_frame(0, 42, DataMessage(seq=1, sender=0),
+                                 send_time=0.0)
+            transport._sock.sendto(frame, transport.local_address)
+            await drain(clock)
+            assert transport.recv_unknown == 1
+            transport.close()
+
+        run(main())
+
+    def test_unregister_stops_delivery(self):
+        async def main():
+            clock, transport = await open_transport()
+            sink = Sink()
+            transport.register(1, sink)
+            assert transport.is_registered(1)
+            transport.unregister(1)
+            assert not transport.is_registered(1)
+            assert transport.unicast(0, 1, DataMessage(seq=1, sender=0)) is None
+            transport.close()
+
+        run(main())
+
+
+class TestLifecycle:
+    def test_open_twice_raises(self):
+        async def main():
+            _clock, transport = await open_transport()
+            with pytest.raises(RuntimeError):
+                await transport.open()
+            transport.close()
+
+        run(main())
+
+    def test_close_is_idempotent(self):
+        async def main():
+            _clock, transport = await open_transport()
+            transport.close()
+            transport.close()
+
+        run(main())
+
+    def test_burst_survives_the_kernel_buffer(self):
+        """A burst far beyond the default socket buffer arrives whole
+        (the transport enlarges SO_RCVBUF and drains in batches)."""
+        async def main():
+            clock, transport = await open_transport()
+            sink = Sink()
+            transport.register(1, sink)
+            for seq in range(1, 1001):
+                transport.unicast(0, 1, LocalRequest(seq=seq, requester=0))
+            for _ in range(200):
+                await drain(clock, 20.0)
+                if len(sink.packets) >= 1000:
+                    break
+            assert len(sink.packets) == 1000
+            transport.close()
+
+        run(main())

@@ -1,0 +1,186 @@
+"""Tests for the live session: scenario specs over loopback UDP."""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+
+import pytest
+
+from repro.live.session import LiveSession, run_spec_live
+from repro.scenario.registry import get_scenario
+from repro.validate.oracle import InvariantOracle
+
+
+def small_spec(**overrides):
+    """A 6-member two-region spec that runs in well under a second."""
+    spec = get_scenario("initial_holders")
+    spec = spec.with_(
+        name="live_test",
+        topology=dataclasses.replace(spec.topology, kind="chain", n=6,
+                                     sizes=(3, 3)),
+        traffic=dataclasses.replace(spec.traffic, kind="uniform", count=4,
+                                    interval=20.0, start=10.0),
+        measurement=dataclasses.replace(spec.measurement, keep_trace=True),
+    )
+    return spec.with_(**overrides) if overrides else spec
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestLoopbackRun:
+    def test_all_members_deliver_everything(self):
+        session = run(run_spec_live(small_spec(), speedup=20.0))
+        assert session.message_count == 4
+        assert session.delivered_fraction(session.message_count) == 1.0
+        assert session.violation_count() == 0
+        assert session.network.stats.send_dropped == 0
+        assert session.network.recv_rejected == 0
+
+    def test_oracle_holds_over_the_live_trace(self):
+        oracle = InvariantOracle()
+        run(run_spec_live(small_spec(), speedup=20.0, oracle=oracle))
+        assert oracle.violation_count == 0
+        assert oracle.records_checked > 0
+
+    def test_summary_shape(self):
+        session = run(run_spec_live(small_spec(), speedup=20.0))
+        summary = session.summary()
+        assert summary["mode"] == "live"
+        assert summary["scenario"] == "live_test"
+        assert summary["members"] == 6
+        assert summary["delivered_fraction"] == 1.0
+        assert summary["time_ms"] > 0
+
+    def test_detect_all_workload_recovers_live(self):
+        """The registry's probe injection drives a real recovery: 10%
+        of members hold the message, the rest fetch it over UDP."""
+        spec = get_scenario("initial_holders")
+        spec = spec.with_(
+            topology=dataclasses.replace(spec.topology, n=20),
+            traffic=dataclasses.replace(spec.traffic, holders=5),
+            measurement=dataclasses.replace(spec.measurement,
+                                            keep_trace=True),
+        )
+        session = run(run_spec_live(spec, speedup=5.0))
+        assert session.delivered_fraction(1) == 1.0
+        assert session.violation_count() == 0
+        assert len(session.recovery_latencies()) > 0
+
+    def test_start_twice_raises(self):
+        async def main():
+            session = LiveSession(small_spec(), speedup=20.0)
+            await session.start()
+            try:
+                with pytest.raises(RuntimeError):
+                    await session.start()
+            finally:
+                await session.close()
+
+        run(main())
+
+    def test_clock_held_through_setup(self):
+        """Virtual time must not advance during construction: the
+        session releases the clock only once start() completes."""
+        async def main():
+            session = LiveSession(small_spec(), speedup=20.0)
+            assert session.sim.held
+            await session.start()
+            try:
+                assert not session.sim.held
+                assert session.sim.now < 50.0
+            finally:
+                await session.close()
+
+        run(main())
+
+
+class TestSharded:
+    def test_two_shards_deliver_over_real_sockets(self):
+        spec = small_spec(
+            measurement=dataclasses.replace(
+                small_spec().measurement, horizon=400.0, drain=False,
+            ),
+        )
+
+        async def main():
+            a = LiveSession(spec, speedup=20.0, local_nodes={0, 1, 2},
+                            hold=True)
+            b = LiveSession(spec, speedup=20.0, local_nodes={3, 4, 5},
+                            hold=True)
+            addr_a = await a.start()
+            addr_b = await b.start()
+            directory = {n: addr_a for n in (0, 1, 2)}
+            directory.update({n: addr_b for n in (3, 4, 5)})
+            a.network.directory = directory
+            b.network.directory = directory
+            a.release_clock()
+            b.release_clock()
+            try:
+                await asyncio.gather(a.run(), b.run())
+                assert a.sharded and b.sharded
+                assert a.sender is not None      # shard with node 0
+                assert b.sender is None
+                # Every remote member delivered every message.
+                received = [r for r in b.trace.records
+                            if r.kind == "member_received"]
+                assert len(received) == 3 * a.message_count
+            finally:
+                await a.close()
+                await b.close()
+
+        run(main())
+
+    def test_unbounded_sharded_run_is_refused(self):
+        """One shard cannot observe group-wide quiescence."""
+        async def main():
+            session = LiveSession(small_spec(), speedup=20.0,
+                                  local_nodes={0, 1, 2},
+                                  directory={n: ("127.0.0.1", 1)
+                                             for n in range(6)})
+            await session.start()
+            try:
+                with pytest.raises(ValueError, match="horizon or duration"):
+                    await session.run()
+            finally:
+                await session.close()
+
+        run(main())
+
+    def test_probe_workloads_refuse_sharded_sessions(self):
+        spec = get_scenario("initial_holders").with_(
+            measurement=dataclasses.replace(
+                get_scenario("initial_holders").measurement, horizon=100.0,
+            ),
+        )
+
+        async def main():
+            session = LiveSession(spec, speedup=20.0, local_nodes={0},
+                                  directory={0: ("127.0.0.1", 1)})
+            with pytest.raises(ValueError, match="sharded"):
+                await session.start()
+            await session.close()
+
+        run(main())
+
+
+class TestSnapshots:
+    def test_snapshot_reads_live_metrics(self):
+        async def main():
+            session = LiveSession(small_spec(), speedup=20.0)
+            await session.start()
+            try:
+                await session.run()
+                snapshot = session.snapshot()
+                assert snapshot.alive_members == 6
+                assert snapshot.delivered_total == 6 * 4
+                assert snapshot.reliability_violations == 0
+                assert snapshot.time_ms > 0
+                follow_up = session.snapshot(previous=snapshot)
+                assert follow_up.delivered_total == snapshot.delivered_total
+            finally:
+                await session.close()
+
+        run(main())

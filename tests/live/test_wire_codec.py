@@ -1,0 +1,252 @@
+"""Property tests for the live UDP wire codec.
+
+Round-trips are generated per message type from
+:data:`~repro.protocol.messages.WIRE_MESSAGE_TYPES`, so a message type
+added without codec support fails here instead of at the first live
+run.  The malformed-datagram half checks the strict-decoding promise:
+nothing shy of a well-formed frame ever reaches protocol code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.live.codec import (
+    MAGIC,
+    MAX_DATAGRAM,
+    CodecError,
+    decode_frame,
+    decode_message,
+    encode_frame,
+    encode_message,
+)
+from repro.protocol.messages import (
+    REPAIR_LOCAL,
+    REPAIR_REGIONAL,
+    REPAIR_RELAY,
+    REPAIR_REMOTE,
+    WIRE_MESSAGE_TYPES,
+    DataMessage,
+    HandoffMessage,
+    HaveReply,
+    LocalRequest,
+    ParityMessage,
+    RemoteRequest,
+    Repair,
+    SearchRequest,
+    SessionMessage,
+)
+
+node_ids = st.integers(min_value=0, max_value=10_000)
+seqs = st.integers(min_value=-(2**31), max_value=2**31)
+payloads = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.text(max_size=40),
+    st.lists(st.integers(min_value=0, max_value=255), max_size=8),
+)
+
+data_messages = st.builds(DataMessage, seq=seqs, sender=node_ids,
+                          payload=payloads)
+parity_messages = st.builds(
+    ParityMessage,
+    block_id=st.integers(min_value=0, max_value=2**20),
+    index=st.integers(min_value=0, max_value=255),
+    r=st.integers(min_value=1, max_value=255),
+    block_seqs=st.tuples(*[seqs] * 3),
+    shard=st.binary(max_size=64),
+    sender=node_ids,
+)
+
+#: One strategy per wire message type, keyed by the type itself.
+MESSAGE_STRATEGIES = {
+    DataMessage: data_messages,
+    LocalRequest: st.builds(LocalRequest, seq=seqs, requester=node_ids),
+    RemoteRequest: st.builds(RemoteRequest, seq=seqs, requester=node_ids),
+    Repair: st.builds(
+        Repair,
+        data=st.one_of(data_messages, parity_messages),
+        responder=node_ids,
+        scope=st.sampled_from(
+            [REPAIR_LOCAL, REPAIR_REMOTE, REPAIR_REGIONAL, REPAIR_RELAY]
+        ),
+    ),
+    ParityMessage: parity_messages,
+    SessionMessage: st.builds(SessionMessage, sender=node_ids, max_seq=seqs),
+    SearchRequest: st.builds(
+        SearchRequest,
+        seq=seqs,
+        waiters=st.lists(node_ids, max_size=6).map(tuple),
+        forwarder=node_ids,
+        hops=st.integers(min_value=0, max_value=16),
+    ),
+    HaveReply: st.builds(HaveReply, seq=seqs, owner=node_ids),
+    HandoffMessage: st.builds(
+        HandoffMessage,
+        data=st.one_of(data_messages, parity_messages),
+        from_member=node_ids,
+    ),
+}
+
+
+def test_every_wire_type_has_a_strategy():
+    """Adding a message type without updating these tests fails loudly."""
+    assert set(MESSAGE_STRATEGIES) == set(WIRE_MESSAGE_TYPES)
+
+
+any_message = st.one_of(*MESSAGE_STRATEGIES.values())
+
+
+class TestMessageRoundTrip:
+    @pytest.mark.parametrize(
+        "message_type", WIRE_MESSAGE_TYPES,
+        ids=[t.__name__ for t in WIRE_MESSAGE_TYPES],
+    )
+    def test_round_trip_per_type(self, message_type):
+        @given(message=MESSAGE_STRATEGIES[message_type])
+        @settings(max_examples=60, deadline=None)
+        def check(message):
+            assert decode_message(encode_message(message)) == message
+
+        check()
+
+    @given(message=any_message)
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_is_json_ready(self, message):
+        encoded = encode_message(message)
+        restored = json.loads(json.dumps(encoded))
+        assert decode_message(restored) == message
+
+    @given(message=any_message)
+    @settings(max_examples=60, deadline=None)
+    def test_class_invariants_stay_off_the_wire(self, message):
+        encoded = encode_message(message)
+        assert "kind" not in encoded
+        assert "wire_size" not in encoded
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(CodecError):
+            encode_message(object())
+
+
+class TestFrameRoundTrip:
+    @given(
+        message=any_message,
+        src=node_ids,
+        dst=node_ids,
+        send_time=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+        group=st.one_of(st.none(), st.text(max_size=10)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip(self, message, src, dst, send_time, group):
+        data = encode_frame(src, dst, message, send_time=send_time,
+                            group=group)
+        frame = decode_frame(data)
+        assert frame.src == src
+        assert frame.dst == dst
+        assert frame.send_time == send_time
+        assert frame.group == group
+        assert frame.payload == message
+
+    def test_oversized_frame_rejected_at_encode(self):
+        big = ParityMessage(block_id=0, index=0, r=1, block_seqs=(1,),
+                            shard=b"x" * MAX_DATAGRAM, sender=0)
+        with pytest.raises(CodecError):
+            encode_frame(0, 1, big, send_time=0.0)
+
+
+def _valid_frame_bytes() -> bytes:
+    return encode_frame(3, 4, DataMessage(seq=7, sender=3), send_time=1.5)
+
+
+class TestMalformedDatagrams:
+    """Every rejection path raises CodecError, never anything else."""
+
+    @pytest.mark.parametrize("blob", [
+        b"",
+        b"\x00" * 20,
+        b"GARBAGE" + b"{}",
+        MAGIC,                                   # magic but no body
+        MAGIC + b"not json at all",
+        MAGIC + b"\xff\xfe\xfd",                 # not UTF-8
+        MAGIC + b"[1,2,3]",                      # JSON but not an object
+        MAGIC + b'{"src": 1}',                   # missing frame fields
+        MAGIC + b'{"src": 1, "dst": 2, "sent": 0, "group": null, '
+                b'"msg": {}, "extra": true}',    # extra frame field
+    ], ids=[
+        "empty", "zeros", "bad-magic", "magic-only", "not-json",
+        "not-utf8", "json-array", "missing-fields", "extra-field",
+    ])
+    def test_rejected_whole(self, blob):
+        with pytest.raises(CodecError):
+            decode_frame(blob)
+
+    def test_oversized_datagram_rejected_before_parsing(self):
+        with pytest.raises(CodecError):
+            decode_frame(MAGIC + b"0" * MAX_DATAGRAM)
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(CodecError):
+            decode_message({"t": "LocalRequest", "seq": True, "requester": 0})
+
+    def test_missing_message_field(self):
+        with pytest.raises(CodecError, match="missing field"):
+            decode_message({"t": "LocalRequest", "seq": 1})
+
+    def test_extra_message_field(self):
+        with pytest.raises(CodecError, match="unexpected fields"):
+            decode_message({"t": "LocalRequest", "seq": 1, "requester": 0,
+                            "evil": 1})
+
+    def test_unknown_message_type(self):
+        with pytest.raises(CodecError, match="unknown message type"):
+            decode_message({"t": "NoSuchMessage"})
+
+    def test_unknown_repair_scope(self):
+        encoded = encode_message(
+            Repair(data=DataMessage(seq=1, sender=0), responder=2,
+                   scope=REPAIR_LOCAL)
+        )
+        encoded["scope"] = "galactic"
+        with pytest.raises(CodecError, match="scope"):
+            decode_message(encoded)
+
+    def test_nested_message_must_carry_payload(self):
+        encoded = encode_message(
+            Repair(data=DataMessage(seq=1, sender=0), responder=2,
+                   scope=REPAIR_LOCAL)
+        )
+        encoded["data"] = encode_message(LocalRequest(seq=1, requester=0))
+        with pytest.raises(CodecError, match="nested message"):
+            decode_message(encoded)
+
+    def test_invalid_base64_shard(self):
+        encoded = encode_message(
+            ParityMessage(block_id=0, index=0, r=1, block_seqs=(1,),
+                          shard=b"abc", sender=0)
+        )
+        encoded["shard"] = "!!! not base64 !!!"
+        with pytest.raises(CodecError, match="base64"):
+            decode_message(encoded)
+
+    @given(blob=st.binary(max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_arbitrary_bytes_never_escape_codecerror(self, blob):
+        try:
+            decode_frame(blob)
+        except CodecError:
+            pass  # the only acceptable failure mode
+
+    @given(mutation=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_truncations_never_escape_codecerror(self, mutation):
+        data = _valid_frame_bytes()
+        cut = mutation % len(data)
+        try:
+            decode_frame(data[:cut])
+        except CodecError:
+            pass

@@ -53,6 +53,19 @@ class TestUnicast:
         sim.run()
         assert network.stats.dropped == 1
         assert network.stats.sent == 1
+        # Misrouted sends are counted separately from transport loss.
+        assert network.stats.send_dropped == 1
+
+    def test_unregistered_destination_emits_send_dropped(self, sim):
+        trace = TraceLog()
+        network = Network(sim, ConstantLatency(5.0), streams=RandomStreams(1),
+                          trace=trace)
+        network.unicast(0, 99, ControlPing())
+        sim.run()
+        [record] = trace.of_kind("send_dropped")
+        assert record["src"] == 0
+        assert record["dst"] == 99
+        assert record["reason"] == "unregistered"
 
     def test_destination_departing_mid_flight_drops(self, sim, network):
         sink = Sink()
@@ -62,6 +75,8 @@ class TestUnicast:
         sim.run()
         assert sink.packets == []
         assert network.stats.dropped == 1
+        # An in-flight drop is ordinary loss, not a misrouted send.
+        assert network.stats.send_dropped == 0
 
     def test_in_order_delivery_same_pair(self, sim, network):
         sink = Sink()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -75,6 +76,47 @@ class TestValidateReplay:
     def test_missing_artifact_is_a_usage_error(self, capsys):
         assert main(["validate", "replay", "/nonexistent/artifact.json"]) == 2
         assert "cannot load artifact" in capsys.readouterr().err
+
+
+class TestReplayDirectory:
+    @staticmethod
+    def write_artifact(directory, name, spec):
+        path = directory / name
+        path.write_text(json.dumps({"format": "rrmp-validate-repro/1",
+                                    "spec": spec.to_dict()}))
+        return path
+
+    def test_clean_directory_replays_every_artifact(self, tmp_path, capsys):
+        self.write_artifact(tmp_path, "a.json", sample_spec(0, 3))
+        self.write_artifact(tmp_path, "b.json", sample_spec(1, 3))
+        assert main(["validate", "replay", str(tmp_path)]) == 0
+        assert "2/2 replay clean" in capsys.readouterr().out
+
+    def test_json_summary_shape(self, tmp_path, capsys):
+        self.write_artifact(tmp_path, "a.json", sample_spec(0, 3))
+        assert main(["validate", "replay", str(tmp_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["directory"] == str(tmp_path)
+        assert payload["artifacts"] == 1
+        assert payload["failures"] == 0
+        [result] = payload["results"]
+        assert result["status"] == "ok"
+        assert result["violation_count"] == 0
+
+    def test_unloadable_artifact_counts_as_a_failure(self, tmp_path, capsys):
+        self.write_artifact(tmp_path, "good.json", sample_spec(0, 3))
+        (tmp_path / "bad.json").write_text("{broken")
+        assert main(["validate", "replay", str(tmp_path), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failures"] == 1
+        statuses = {os.path.basename(r["artifact"]): r["status"]
+                    for r in payload["results"]}
+        assert statuses["bad.json"] == "load_error"
+        assert statuses["good.json"] == "ok"
+
+    def test_empty_directory_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["validate", "replay", str(tmp_path)]) == 2
+        assert "no *.json artifacts" in capsys.readouterr().err
 
 
 class TestValidateDigest:
