@@ -101,7 +101,8 @@ class TwoPhaseBufferPolicy(BufferPolicy):
             return
         self.buffer.add(data, now)
         self.short_term.track(data.seq)
-        self.host.trace.emit(now, "buffer_add", node=self.host.node_id, seq=data.seq)
+        if self.host.trace.enabled:
+            self.host.trace.emit(now, "buffer_add", node=self.host.node_id, seq=data.seq)
 
     def on_request(self, seq: Seq) -> None:
         entry = self.buffer.get(seq)
@@ -166,13 +167,16 @@ class TwoPhaseBufferPolicy(BufferPolicy):
         entry = self.buffer.get(seq)
         if entry is None:  # pragma: no cover - defensive
             return
-        self.host.trace.emit(now, "buffer_idle", node=self.host.node_id, seq=seq)
+        trace = self.host.trace
+        if trace.enabled:
+            trace.emit(now, "buffer_idle", node=self.host.node_id, seq=seq)
         if self.long_term.decide(self.host.region_size()):
             self.buffer.promote(seq)
             entry.last_use_time = now
             self.long_term.arm_ttl(seq)
-            self.host.trace.emit(now, "long_term_selected", node=self.host.node_id,
-                                 seq=seq, via="coin-flip")
+            if trace.enabled:
+                trace.emit(now, "long_term_selected", node=self.host.node_id,
+                           seq=seq, via="coin-flip")
         else:
             removed = self.buffer.discard(seq, now, DISCARD_IDLE)
             if removed is not None:
@@ -189,6 +193,8 @@ class TwoPhaseBufferPolicy(BufferPolicy):
     def _emit_discard(
         self, seq: Seq, now: float, reason: str, was_long_term: bool, duration: float
     ) -> None:
+        if not self.host.trace.enabled:
+            return
         self.host.trace.emit(
             now,
             "buffer_discard",

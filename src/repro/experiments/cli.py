@@ -49,6 +49,7 @@ from repro.runner import (
     SerialBackend,
     using_runner,
 )
+from repro.runner.profiling import maybe_profile
 from repro.live.cli import add_live_parser, main_live
 from repro.scenario.cli import add_scenarios_parser, main_scenarios
 from repro.validate.cli import add_validate_parser, main_validate
@@ -119,6 +120,16 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="result cache location (default: $RRMP_CACHE_DIR or "
              "~/.cache/rrmp-experiments)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the run with cProfile: raw stats to --profile-out, "
+             "top-25 cumulative functions to stderr",
+    )
+    parser.add_argument(
+        "--profile-out", default="profile.pstats", metavar="PATH",
+        help="where --profile writes the raw pstats file "
+             "(default: profile.pstats)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -174,8 +185,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         params.update(dict(args.param))
         runner = runner_from_args(args)
         try:
-            with using_runner(runner):
-                table = run_experiment(args.experiment, **params)
+            with maybe_profile(args.profile, args.profile_out):
+                with using_runner(runner):
+                    table = run_experiment(args.experiment, **params)
         finally:
             getattr(runner.backend, "close", lambda: None)()
         print(table.to_text())
@@ -184,12 +196,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "all":
         runner = runner_from_args(args)
         try:
-            with using_runner(runner):
-                for eid in experiment_ids():
-                    params = quick_params_for(eid) if args.quick else {}
-                    table = run_experiment(eid, **params)
-                    print(table.to_text())
-                    print()
+            with maybe_profile(args.profile, args.profile_out):
+                with using_runner(runner):
+                    for eid in experiment_ids():
+                        params = quick_params_for(eid) if args.quick else {}
+                        table = run_experiment(eid, **params)
+                        print(table.to_text())
+                        print()
         finally:
             getattr(runner.backend, "close", lambda: None)()
         print(f"runner: {runner.stats.summary()} jobs={args.jobs}", file=sys.stderr)

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.scenario.spec import ScenarioSpec
-from repro.sim.tracing import TraceRecord
+from repro.sim.tracing import StreamingTraceDigest, TraceRecord
 from repro.validate.oracle import InvariantOracle
 
 
@@ -70,7 +70,14 @@ def delivery_digest(records: Iterable[TraceRecord]) -> str:
 
 @dataclass(frozen=True)
 class SideResult:
-    """One world's run: digest, delivery sets, oracle verdict, summary."""
+    """One world's run: digest, delivery sets, oracle verdict, summary.
+
+    ``trace_digest`` is the raw (non-normalized) trace digest, computed
+    incrementally by :class:`~repro.sim.tracing.StreamingTraceDigest`.
+    It is *not* expected to match between worlds (timestamps differ);
+    it identifies each side's exact trace for reproduction, without the
+    harness ever needing a second pass over the record list.
+    """
 
     mode: str                          #: ``"sim"`` or ``"live"``
     digest: str
@@ -79,6 +86,8 @@ class SideResult:
     oracle_violations: int
     records_checked: int
     summary: Dict[str, Any]
+    trace_digest: str = ""
+    trace_records: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -142,6 +151,12 @@ def run_sim_side(spec: ScenarioSpec) -> SideResult:
     built = spec.build()
     oracle = built.oracle
     assert oracle is not None  # forced on by _with_trace
+    # Incremental trace digest: replay build-time workload injections
+    # (emitted before we could subscribe), then stream the run itself.
+    stream = StreamingTraceDigest()
+    for record in built.simulation.trace.records:
+        stream.update(record)
+    stream.attach(built.simulation.trace)
     built.run()
     records = built.simulation.trace.records
     delivered, violations = delivery_sets(records)
@@ -153,6 +168,8 @@ def run_sim_side(spec: ScenarioSpec) -> SideResult:
         oracle_violations=oracle.violation_count,
         records_checked=oracle.records_checked,
         summary=built.summary(),
+        trace_digest=stream.hexdigest(),
+        trace_records=stream.count,
     )
 
 
@@ -164,6 +181,9 @@ async def run_live_side(spec: ScenarioSpec, speedup: float = 1.0) -> SideResult:
     oracle = InvariantOracle()
     session = await run_spec_live(spec, speedup=speedup, oracle=oracle)
     records = session.trace.records
+    stream = StreamingTraceDigest()
+    for record in records:
+        stream.update(record)
     delivered, violations = delivery_sets(records)
     return SideResult(
         mode="live",
@@ -173,6 +193,8 @@ async def run_live_side(spec: ScenarioSpec, speedup: float = 1.0) -> SideResult:
         oracle_violations=oracle.violation_count,
         records_checked=oracle.records_checked,
         summary=session.summary(),
+        trace_digest=stream.hexdigest(),
+        trace_records=stream.count,
     )
 
 

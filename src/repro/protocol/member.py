@@ -232,22 +232,26 @@ class RrmpMember:
 
     def _handle_data(self, data: DataMessage, via: str) -> None:
         seq = data.seq
+        trace = self.trace
         # Duplicate-suppression for our own pending regional multicast:
         # if a neighbour already re-multicast this repair, drop ours.
         if via == VIA_REGIONAL:
             pending = self._pending_regional.pop(seq, None)
             if pending is not None:
                 pending.cancel()
-                self.trace.emit(self.sim.now, "regional_multicast_suppressed",
-                                node=self.node_id, seq=seq)
+                if trace.enabled:
+                    trace.emit(self.sim.now, "regional_multicast_suppressed",
+                               node=self.node_id, seq=seq)
         if self.gap.is_received(seq):
             # §2.2: a duplicate remote repair is *not* re-multicast.
-            self.trace.emit(self.sim.now, "duplicate_received",
-                            node=self.node_id, seq=seq, via=via)
+            if trace.enabled:
+                trace.emit(self.sim.now, "duplicate_received",
+                           node=self.node_id, seq=seq, via=via)
             return
         newly_missing = self.gap.on_receive(seq)
-        self.trace.emit(self.sim.now, "member_received",
-                        node=self.node_id, seq=seq, via=via)
+        if trace.enabled:
+            trace.emit(self.sim.now, "member_received",
+                       node=self.node_id, seq=seq, via=via)
         recovery = self.recoveries.pop(seq, None)
         if recovery is not None:
             recovery.complete(self.sim.now)
@@ -303,21 +307,24 @@ class RrmpMember:
     def _serve_waiters(self, data: DataMessage) -> None:
         """Serve downstream waiters and resolve any active search."""
         seq = data.seq
+        enabled = self.trace.enabled
         for waiter in sorted(self.waiting_remote.pop(seq, set())):
             self.network.unicast(
                 self.node_id, waiter,
                 Repair(data=data, responder=self.node_id, scope=REPAIR_RELAY),
             )
             self.policy.on_serve(seq)
-            self.trace.emit(self.sim.now, "remote_request_served",
-                            node=self.node_id, seq=seq, requester=waiter, via="relay")
+            if enabled:
+                self.trace.emit(self.sim.now, "remote_request_served",
+                                node=self.node_id, seq=seq, requester=waiter, via="relay")
         for waiter in self.search.resolve(seq):
             self.network.unicast(
                 self.node_id, waiter,
                 Repair(data=data, responder=self.node_id, scope=REPAIR_REMOTE),
             )
-            self.trace.emit(self.sim.now, "remote_request_served",
-                            node=self.node_id, seq=seq, requester=waiter, via="receipt")
+            if enabled:
+                self.trace.emit(self.sim.now, "remote_request_served",
+                                node=self.node_id, seq=seq, requester=waiter, via="receipt")
 
     def _schedule_regional_multicast(self, data: DataMessage) -> None:
         backoff_max = self.config.regional_backoff_max
@@ -354,8 +361,9 @@ class RrmpMember:
             Repair(data=data, responder=self.node_id, scope=REPAIR_LOCAL),
         )
         self.policy.on_serve(request.seq)
-        self.trace.emit(self.sim.now, "repair_sent", node=self.node_id,
-                        seq=request.seq, to=request.requester, scope=REPAIR_LOCAL)
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, "repair_sent", node=self.node_id,
+                            seq=request.seq, to=request.requester, scope=REPAIR_LOCAL)
 
     def _on_remote_request(self, request: RemoteRequest) -> None:
         seq, requester = request.seq, request.requester
@@ -512,7 +520,8 @@ class RrmpMember:
             self._absorb_fec_recoveries(self.fec.recover(seq))
             if self.gap.is_received(seq):
                 return
-        self.trace.emit(self.sim.now, "loss_detected", node=self.node_id, seq=seq)
+        if self.trace.enabled:
+            self.trace.emit(self.sim.now, "loss_detected", node=self.node_id, seq=seq)
         process = RecoveryProcess(self, seq, detected_at=self.sim.now)
         self.recoveries[seq] = process
         process.start()

@@ -1,0 +1,54 @@
+"""Opt-in cProfile wrapping for CLI runs (the ``--profile`` flag).
+
+Kept in :mod:`repro.runner` because both CLI front-ends
+(``experiments run`` and ``scenarios run``) share it and the runner
+package already sits below both; it imports nothing from either, so
+there is no cycle.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+#: How many cumulative-time entries ``--profile`` prints to stderr.
+PROFILE_TOP_N = 25
+
+
+@contextmanager
+def maybe_profile(
+    enabled: bool,
+    output_path: Union[str, Path] = "profile.pstats",
+    top: int = PROFILE_TOP_N,
+) -> Iterator[Optional[cProfile.Profile]]:
+    """Profile the enclosed block when *enabled*.
+
+    On exit the raw stats go to *output_path* (loadable with
+    ``python -m pstats`` or snakeviz) and the top *top* functions by
+    cumulative time go to stderr — stdout stays clean for ``--json``
+    pipelines.  With ``enabled=False`` the block runs untouched.
+    """
+    if not enabled:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        path = Path(output_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(str(path))
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print(f"-- profile: wrote {path}; top {top} by cumulative time --",
+              file=sys.stderr)
+        stats.print_stats(top)
+
+
+__all__ = ["PROFILE_TOP_N", "maybe_profile"]

@@ -1,0 +1,50 @@
+"""Mega-scale simulation path: array-backed members + region sharding.
+
+The classic engine (:mod:`repro.protocol`) models every receiver as a
+Python object with its own timers — faithful, but ~0.4M engine ops/s
+caps validated runs at ~1,000 members.  This package trades per-member
+event granularity for per-*(region, message)* aggregate events over
+numpy struct-of-arrays state, which is what lets one machine reach
+100,000 members (see EXPERIMENTS.md "Mega-scale methodology"):
+
+* :mod:`repro.scale.pool` — :class:`FlatMemberPool`, the
+  struct-of-arrays member state (receipt/buffer/long-term bitmaps,
+  receive times, idle-timer deadlines);
+* :mod:`repro.scale.engine` — :class:`FlatShard`, the region-sharded
+  flat engine with epoch-barrier synchronization, plus
+  :func:`run_flat` (serial, in-process sharded, or one OS process per
+  shard) and the order-independent :class:`CommutativeTraceDigest`;
+* :mod:`repro.scale.sharding` — mirror sharding for *classic* registry
+  scenarios: every shard replays the full object-based simulation and
+  keeps only the trace records its regions own, so the merged digest is
+  byte-identical to a serial run;
+* :mod:`repro.scale.scenarios` — the ``scale`` registry tier
+  (``scale_10k``, ``scale_100k``) the CLI and benchmarks run.
+"""
+
+from repro.scale.engine import (
+    CommutativeTraceDigest,
+    FlatRunResult,
+    FlatShard,
+    run_flat,
+)
+from repro.scale.pool import FlatMemberPool
+from repro.scale.scenarios import (
+    get_scale_scenario,
+    scale_scenario_names,
+    scale_scenarios,
+)
+from repro.scale.sharding import MirrorShardResult, run_mirror_sharded
+
+__all__ = [
+    "CommutativeTraceDigest",
+    "FlatMemberPool",
+    "FlatRunResult",
+    "FlatShard",
+    "MirrorShardResult",
+    "get_scale_scenario",
+    "run_flat",
+    "run_mirror_sharded",
+    "scale_scenario_names",
+    "scale_scenarios",
+]

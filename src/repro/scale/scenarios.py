@@ -1,0 +1,83 @@
+"""The ``scale`` scenario tier: named mega-scale workloads.
+
+A deliberately *separate* registry from
+:mod:`repro.scenario.registry`: the classic registry's scenarios all
+fit the object engine and carry golden trace digests that tests iterate
+exhaustively — a 100,000-member entry there would turn every
+``scenario_names()`` parametrization into an hours-long run.  Scale-
+tier scenarios are listed in their own CLI section and always execute
+on the flat engine (:func:`repro.scale.engine.run_flat`).
+
+Every entry is the :func:`repro.scenario.library.scale_spec` shape
+(star hierarchy, uniform lossy stream, two-phase policy) at a size the
+flat engine exists for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.scenario.library import scale_spec
+from repro.scenario.spec import ScenarioSpec
+
+
+def scale_10k_spec(seed: int = 0) -> ScenarioSpec:
+    """10 regions x 1,000 members: the PR-gate shard-parity workload."""
+    return scale_spec(
+        regions=10, members_per_region=1_000, messages=10, seed=seed,
+    ).with_(
+        name="scale_10k",
+        description="flat engine: 10 regions x 1,000 members, 10 messages "
+        "at 5% loss",
+    )
+
+
+def scale_100k_spec(seed: int = 0) -> ScenarioSpec:
+    """100 regions x 1,000 members: the BENCH_scale_100k workload.
+
+    1,000-member regions keep the numpy fan-out wide enough that the
+    per-event Python overhead amortizes (100 x 1000 beats 1000 x 100 by
+    an order of magnitude at identical member count).
+    """
+    return scale_spec(
+        regions=100, members_per_region=1_000, messages=10, seed=seed,
+    ).with_(
+        name="scale_100k",
+        description="flat engine: 100 regions x 1,000 members, 10 messages "
+        "at 5% loss",
+    )
+
+
+_SCALE_TIER: Dict[str, Callable[[], ScenarioSpec]] = {
+    "scale_10k": scale_10k_spec,
+    "scale_100k": scale_100k_spec,
+}
+
+
+def scale_scenario_names() -> List[str]:
+    """All scale-tier names, in registration order."""
+    return list(_SCALE_TIER)
+
+
+def scale_scenarios() -> Dict[str, ScenarioSpec]:
+    """Fresh name → spec snapshot of the tier."""
+    return {name: factory() for name, factory in _SCALE_TIER.items()}
+
+
+def get_scale_scenario(name: str) -> ScenarioSpec:
+    """A fresh spec for scale-tier *name*; ``KeyError`` with catalogue."""
+    try:
+        factory = _SCALE_TIER[name]
+    except KeyError:
+        known = ", ".join(_SCALE_TIER)
+        raise KeyError(f"unknown scale scenario {name!r}; known: {known}") from None
+    return factory()
+
+
+__all__ = [
+    "get_scale_scenario",
+    "scale_100k_spec",
+    "scale_10k_spec",
+    "scale_scenario_names",
+    "scale_scenarios",
+]

@@ -1,0 +1,172 @@
+"""Mirror sharding: digest-exact parallel runs of classic scenarios.
+
+The flat engine owns the 100k tier, but the acceptance bar for
+``--shards N`` on *classic* registry scenarios is brutal: the merged
+trace digest must be **byte-identical to the serial run** — the same
+:func:`repro.sim.tracing.trace_digest` the golden baselines pin, which
+hashes records in serial *emission order*.  Partitioned execution of
+the object engine cannot reproduce that order (same-time events
+tie-break on a per-simulator insertion sequence), so classic sharding
+mirrors instead: every shard replays the **full** deterministic
+simulation via the sweep runner's :class:`ProcessPoolBackend` and
+retains only the records its regions *own*, each tagged with its global
+emission index.  The parent merges the slices by index — verifying
+they tile ``0..N-1`` exactly — and folds the lines into one
+:class:`~repro.sim.tracing.StreamingTraceDigest`.
+
+Ownership is region-based (a record belongs to the shard owning its
+node's region; node→region follows ``member_joined`` records, so churn
+scenarios shard correctly) and is computed identically in every shard
+from the same replayed trace, so the slices partition the stream by
+construction.  Mirroring trades redundant compute for exactness; it is
+the honest option until the flat engine's event model covers the whole
+classic feature matrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runner.backends import ProcessPoolBackend, SerialBackend, TrialOutcome
+from repro.runner.spec import TrialSpec
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.tracing import StreamingTraceDigest, record_line
+
+
+def _mirror_shard_trial(params: Dict[str, Any], seed: int) -> Dict[str, Any]:
+    """Top-level trial (picklable by reference): replay the scenario and
+    keep the records owned by this shard's regions."""
+    spec = ScenarioSpec.from_json(params["spec_json"])
+    shard = int(params["shard"])
+    shards = int(params["shards"])
+    if not spec.measurement.keep_trace:
+        # Records must be retained to slice them; forcing retention is
+        # behavior-neutral (tracing never feeds back into the protocol).
+        spec = spec.with_(
+            measurement=dataclasses.replace(spec.measurement, keep_trace=True)
+        )
+    built = spec.build()
+    hierarchy = built.simulation.hierarchy
+    node_region = {
+        node: hierarchy.region_id_of(node) for node in hierarchy.nodes
+    }
+    region_shard = {
+        region_id: index % shards
+        for index, region_id in enumerate(sorted(hierarchy.regions))
+    }
+    built.run()
+
+    lines: List[Tuple[int, bytes]] = []
+    total = 0
+    for index, record in enumerate(built.simulation.trace.records):
+        total += 1
+        if record.kind == "member_joined":
+            node_region[record["node"]] = record["region"]
+        node = record.get("node")
+        if node is not None and node in node_region:
+            owner = region_shard.get(node_region[node], 0)
+        else:
+            region = record.get("region")
+            owner = region_shard.get(region, 0) if region is not None else 0
+        if owner == shard:
+            lines.append((index, record_line(record)))
+    return {
+        "total": total,
+        "lines": lines,
+        "summary": built.summary() if shard == 0 else None,
+    }
+
+
+@dataclass(frozen=True)
+class MirrorShardResult:
+    """The merged outcome of a mirror-sharded classic run."""
+
+    spec_name: str
+    seed: int
+    shards: int
+    jobs: int
+    trace_digest: str
+    trace_records: int
+    summary: Dict[str, Any]
+    shard_records: Tuple[int, ...]
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-ready form (the ``scenarios run --shards`` output)."""
+        return {
+            **self.summary,
+            "engine": "mirror-sharded",
+            "shards": self.shards,
+            "jobs": self.jobs,
+            "trace_digest": self.trace_digest,
+            "trace_records": self.trace_records,
+            "shard_records": list(self.shard_records),
+        }
+
+
+def run_mirror_sharded(
+    spec: ScenarioSpec,
+    shards: int,
+    jobs: Optional[int] = None,
+    backend=None,
+) -> MirrorShardResult:
+    """Run *spec* across *shards* mirrored workers and merge the trace.
+
+    ``jobs`` caps worker-process parallelism (default: one process per
+    shard).  The merged digest equals ``trace_digest()`` of a serial
+    run of the same spec — the shard-determinism tests pin this against
+    the golden baselines.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    spec_json = spec.to_json()
+    trials = [
+        TrialSpec(
+            experiment_id="mirror_shard",
+            trial=_mirror_shard_trial,
+            params={"spec_json": spec_json, "shard": shard, "shards": shards},
+            seed=spec.seed,
+        )
+        for shard in range(shards)
+    ]
+    if backend is None:
+        workers = jobs if jobs is not None else shards
+        backend = SerialBackend() if workers <= 1 else ProcessPoolBackend(workers)
+    outcomes: List[TrialOutcome] = backend.run(trials)
+
+    totals = {outcome.value["total"] for outcome in outcomes}
+    if len(totals) != 1:
+        raise RuntimeError(
+            f"mirrored shards disagree on the record count: {sorted(totals)} "
+            "— the simulation is not deterministic"
+        )
+    total = totals.pop()
+    merged: List[Tuple[int, bytes]] = []
+    for outcome in outcomes:
+        merged.extend(outcome.value["lines"])
+    merged.sort(key=lambda item: item[0])
+    if [index for index, _ in merged] != list(range(total)):
+        raise RuntimeError(
+            "shard record slices do not tile the emission order exactly "
+            f"(got {len(merged)} records for a {total}-record trace)"
+        )
+    digest = StreamingTraceDigest()
+    for _, line in merged:
+        digest.update_line(line)
+    summary = outcomes[0].value["summary"] or {}
+    return MirrorShardResult(
+        spec_name=spec.name,
+        seed=spec.seed,
+        shards=shards,
+        jobs=getattr(backend, "jobs", 1),
+        trace_digest=digest.hexdigest(),
+        trace_records=digest.count,
+        summary=summary,
+        shard_records=tuple(
+            len(outcome.value["lines"]) for outcome in outcomes
+        ),
+    )
+
+
+__all__ = ["MirrorShardResult", "run_mirror_sharded"]

@@ -5,12 +5,27 @@ Wired into the ``rrmp-experiments`` entry point::
     rrmp-experiments scenarios list
     rrmp-experiments scenarios describe wan_burst_loss
     rrmp-experiments scenarios run overload_onset --seed 3 --json
+    rrmp-experiments scenarios run scale_100k --shards 4
+    rrmp-experiments scenarios run initial_holders --shards 2 --jobs 2
 
 ``describe`` prints the spec's JSON form (the exact payload
 ``ScenarioSpec.from_json`` accepts) plus its digest; ``run``
 materializes, runs to the measurement end and prints the summary
 metrics — as aligned text or, with ``--json``, as one JSON object for
 pipelines.
+
+Two scenario tiers resolve here.  Classic registry names run on the
+object engine; ``--shards N`` runs them mirror-sharded
+(:mod:`repro.scale.sharding`) with a merged trace digest byte-identical
+to the serial run.  Scale-tier names (``scale_10k``, ``scale_100k``)
+always run on the flat array engine (:mod:`repro.scale.engine`), where
+``--shards`` partitions regions across engines and ``--jobs`` > 1
+moves each shard into its own worker process.
+
+``--profile`` wraps the run in cProfile: raw stats land in
+``profile.pstats`` (override with ``--profile-out``) and the top 25
+functions by cumulative time go to stderr, leaving stdout clean for
+``--json``.
 """
 
 from __future__ import annotations
@@ -19,6 +34,10 @@ import argparse
 import json
 import sys
 
+from repro.runner.profiling import maybe_profile
+from repro.scale.engine import run_flat
+from repro.scale.scenarios import get_scale_scenario, scale_scenarios
+from repro.scale.sharding import run_mirror_sharded
 from repro.scenario.registry import get_scenario, registered_scenarios
 
 
@@ -37,6 +56,37 @@ def add_scenarios_parser(commands) -> None:
                      help="override the spec's master seed")
     run.add_argument("--json", action="store_true", dest="as_json",
                      help="print the run summary as JSON")
+    run.add_argument("--shards", type=int, default=1, metavar="N",
+                     help="partition the run across N shards (classic names: "
+                          "mirror-sharded with a digest identical to serial; "
+                          "scale-tier names: region-partitioned flat engines)")
+    run.add_argument("--jobs", type=int, default=None, metavar="M",
+                     help="worker processes for sharded runs (default: in-"
+                          "process for scale tier, one per shard for classic)")
+    run.add_argument("--profile", action="store_true",
+                     help="profile the run with cProfile (stats file + top-25 "
+                          "cumulative on stderr)")
+    run.add_argument("--profile-out", default="profile.pstats", metavar="PATH",
+                     help="where --profile writes the raw pstats file "
+                          "(default: profile.pstats)")
+
+
+def _resolve(name: str):
+    """Look *name* up in the classic registry, then the scale tier.
+
+    Returns ``(spec, is_scale_tier)``; raises ``KeyError`` naming both
+    catalogues when neither tier knows the name.
+    """
+    try:
+        return get_scenario(name), False
+    except KeyError as classic_error:
+        try:
+            return get_scale_scenario(name), True
+        except KeyError:
+            raise KeyError(
+                f"{classic_error.args[0]}; scale tier: "
+                + ", ".join(scale_scenarios())
+            ) from None
 
 
 def main_scenarios(args: argparse.Namespace) -> int:
@@ -44,7 +94,7 @@ def main_scenarios(args: argparse.Namespace) -> int:
     if args.scenario_command == "list":
         return _cmd_list()
     try:
-        spec = get_scenario(args.name)
+        spec, is_scale = _resolve(args.name)
     except KeyError as error:
         # Unknown name: a usage error with the catalogue, not a
         # traceback.  Only the lookup is guarded — failures inside the
@@ -53,16 +103,25 @@ def main_scenarios(args: argparse.Namespace) -> int:
         return 2
     if args.scenario_command == "describe":
         return _cmd_describe(spec)
-    return _cmd_run(spec, seed=args.seed, as_json=args.as_json)
+    return _cmd_run(spec, is_scale, args)
 
 
 def _cmd_list() -> int:
     entries = registered_scenarios()
-    width = max(len(name) for name in entries)
+    scale_tier = scale_scenarios()
+    width = max(
+        max(len(name) for name in entries),
+        max(len(name) for name in scale_tier),
+    )
     for name, entry in entries.items():
         spec = entry.spec()
         members = spec.topology.member_count()
-        print(f"{name.ljust(width)}  [{members:>5d} members]  {entry.description}")
+        print(f"{name.ljust(width)}  [{members:>6d} members]  {entry.description}")
+    print()
+    print("scale tier (flat engine):")
+    for name, spec in scale_tier.items():
+        members = spec.topology.member_count()
+        print(f"{name.ljust(width)}  [{members:>6d} members]  {spec.description}")
     return 0
 
 
@@ -72,13 +131,25 @@ def _cmd_describe(spec) -> int:
     return 0
 
 
-def _cmd_run(spec, seed=None, as_json: bool = False) -> int:
-    if seed is not None:
-        spec = spec.with_(seed=seed)
-    built = spec.build()
-    built.run()
-    summary = built.summary()
-    if as_json:
+def _cmd_run(spec, is_scale: bool, args: argparse.Namespace) -> int:
+    if args.seed is not None:
+        spec = spec.with_(seed=args.seed)
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    with maybe_profile(args.profile, args.profile_out):
+        if is_scale:
+            processes = args.jobs is not None and args.jobs > 1
+            result = run_flat(spec, shards=args.shards, processes=processes)
+            summary = result.summary()
+        elif args.shards > 1:
+            result = run_mirror_sharded(spec, args.shards, jobs=args.jobs)
+            summary = result.payload()
+        else:
+            built = spec.build()
+            built.run()
+            summary = built.summary()
+    if args.as_json:
         print(json.dumps(summary))
         return 0
     print(f"== scenario {spec.name} (seed {spec.seed}) ==")

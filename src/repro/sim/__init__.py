@@ -11,7 +11,14 @@ from repro.sim.engine import SimulationError, Simulator, total_events_fired
 from repro.sim.events import Event, EventQueue
 from repro.sim.randomness import RandomStreams, derive_seed
 from repro.sim.timers import PeriodicTask, Timer, call_repeatedly
-from repro.sim.tracing import NullTraceLog, TraceLog, TraceRecord, trace_digest
+from repro.sim.tracing import (
+    NullTraceLog,
+    StreamingTraceDigest,
+    TraceLog,
+    TraceRecord,
+    record_line,
+    trace_digest,
+)
 
 __all__ = [
     "Event",
@@ -21,11 +28,13 @@ __all__ = [
     "RandomStreams",
     "SimulationError",
     "Simulator",
+    "StreamingTraceDigest",
     "Timer",
     "TraceLog",
     "TraceRecord",
     "call_repeatedly",
     "derive_seed",
+    "record_line",
     "total_events_fired",
     "trace_digest",
 ]

@@ -43,6 +43,14 @@ class TraceLog:
 
     Set ``keep_records=False`` to run in streaming mode (subscribers
     only), which large parameter sweeps use to bound memory.
+
+    ``enabled`` is the hot-path guard: it is true whenever an emitted
+    record could be observed (records retained, or at least one
+    subscriber registered).  Emit sites on hot protocol paths check it
+    before building a record, so a run with tracing fully off pays no
+    per-event kwargs/record cost.  The flag is an attribute, not a
+    constructor snapshot, because subscribers (the invariant oracle,
+    the streaming digest) attach after members are built.
     """
 
     def __init__(self, keep_records: bool = True) -> None:
@@ -50,6 +58,7 @@ class TraceLog:
         self.records: List[TraceRecord] = []
         self._subscribers: List[Subscriber] = []
         self._kind_subscribers: Dict[str, List[Subscriber]] = {}
+        self.enabled = keep_records
 
     def emit(self, time: float, kind: str, **fields: Any) -> None:
         """Record an event at simulated *time* with the given *kind*."""
@@ -67,6 +76,7 @@ class TraceLog:
             self._subscribers.append(subscriber)
         else:
             self._kind_subscribers.setdefault(kind, []).append(subscriber)
+        self.enabled = True
 
     def of_kind(self, kind: str) -> Iterator[TraceRecord]:
         """Iterate over retained records of the given *kind*."""
@@ -113,24 +123,78 @@ class NullTraceLog(TraceLog):
         )
 
 
+def record_line(record: TraceRecord) -> bytes:
+    """The canonical serialization of one record, without the newline.
+
+    One canonical JSON line (``{"f": fields, "k": kind, "t": time}``
+    with sorted keys), stable across process restarts, platforms and
+    Python versions.  Tuples serialize as JSON arrays; any non-JSON
+    field value falls back to ``repr``.  Both :func:`trace_digest` and
+    :class:`StreamingTraceDigest` hash exactly these lines, so the two
+    digest paths agree byte-for-byte — which is what lets a sharded
+    run's merged digest be compared against a serial golden baseline.
+    """
+    return json.dumps(
+        {"t": record.time, "k": record.kind, "f": record.fields},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=repr,
+    ).encode("utf-8")
+
+
 def trace_digest(records: Iterable[TraceRecord]) -> str:
     """SHA-256 over the canonical serialization of a trace stream.
 
-    Each record is rendered as one canonical JSON line
-    (``{"f": fields, "k": kind, "t": time}`` with sorted keys); the
-    digest is stable across process restarts, platforms and Python
-    versions, which is what the golden-baseline differential tests
-    under ``tests/baselines/`` key on.  Tuples serialize as JSON
-    arrays; any non-JSON field value falls back to ``repr``.
+    The batch form: iterates retained records.  Runs too large to
+    retain records use :class:`StreamingTraceDigest` instead; both
+    produce identical digests for the same record stream (the
+    golden-baseline differential tests under ``tests/baselines/``
+    key on this canonical form).
     """
     hasher = hashlib.sha256()
     for record in records:
-        line = json.dumps(
-            {"t": record.time, "k": record.kind, "f": record.fields},
-            sort_keys=True,
-            separators=(",", ":"),
-            default=repr,
-        )
-        hasher.update(line.encode("utf-8"))
+        hasher.update(record_line(record))
         hasher.update(b"\n")
     return hasher.hexdigest()
+
+
+class StreamingTraceDigest:
+    """Incremental SHA-256 over a trace stream, record by record.
+
+    Subscribing this to a ``TraceLog(keep_records=False)`` computes the
+    exact digest :func:`trace_digest` would produce over the retained
+    records — without holding any of them, which is what lets a
+    100k-member run verify its trace digest in O(1) memory::
+
+        digest = StreamingTraceDigest().attach(simulation.trace)
+        simulation.run(...)
+        assert digest.hexdigest() == expected
+
+    ``update_line`` accepts pre-serialized canonical lines (from
+    :func:`record_line`), which the shard-merge path uses to hash
+    records that crossed a process boundary as bytes.
+    """
+
+    def __init__(self) -> None:
+        self._hasher = hashlib.sha256()
+        #: Number of records hashed so far.
+        self.count = 0
+
+    def attach(self, trace: TraceLog) -> "StreamingTraceDigest":
+        """Subscribe to *trace*; returns self for chaining."""
+        trace.subscribe(self.update)
+        return self
+
+    def update(self, record: TraceRecord) -> None:
+        """Hash one record (usable directly as a trace subscriber)."""
+        self.update_line(record_line(record))
+
+    def update_line(self, line: bytes) -> None:
+        """Hash one pre-serialized canonical record line."""
+        self._hasher.update(line)
+        self._hasher.update(b"\n")
+        self.count += 1
+
+    def hexdigest(self) -> str:
+        """The digest over everything hashed so far (non-destructive)."""
+        return self._hasher.copy().hexdigest()

@@ -1,0 +1,94 @@
+"""CLI surface of the scale subsystem: list/describe/run + --profile."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestScenariosList:
+    def test_list_includes_scale_tier(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "scale tier (flat engine):" in out
+        assert "scale_10k" in out
+        assert "scale_100k" in out
+        # The classic tier is still fully listed.
+        assert "initial_holders" in out and "wan_burst_loss" in out
+
+    def test_describe_resolves_scale_tier_names(self, capsys):
+        assert main(["scenarios", "describe", "scale_10k"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[: out.rindex("digest:")])
+        assert payload["name"] == "scale_10k"
+        assert payload["topology"]["kind"] == "star"
+
+    def test_unknown_name_mentions_both_tiers(self, capsys):
+        assert main(["scenarios", "run", "scale_1M"]) == 2
+        err = capsys.readouterr().err
+        assert "scale tier" in err and "scale_100k" in err
+
+
+class TestScenariosRunSharded:
+    def test_scale_tier_runs_on_flat_engine(self, capsys):
+        assert main(["scenarios", "run", "scale_10k", "--shards", "2",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "flat"
+        assert payload["shards"] == 2
+        assert payload["delivered_fraction"] == 1.0
+        assert payload["trace_digest"]
+
+    def test_classic_sharded_run_reports_mirror_engine(self, capsys):
+        assert main(["scenarios", "run", "initial_holders", "--shards", "2",
+                     "--jobs", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "mirror-sharded"
+        assert payload["shards"] == 2
+
+    def test_classic_serial_run_is_unchanged(self, capsys):
+        assert main(["scenarios", "run", "initial_holders", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "engine" not in payload  # the plain object-engine summary
+        assert payload["delivered_fraction"] == 1.0
+
+    def test_invalid_shard_count_is_a_usage_error(self, capsys):
+        assert main(["scenarios", "run", "initial_holders",
+                     "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+
+class TestProfileFlag:
+    def test_scenarios_run_profile_writes_pstats(self, tmp_path, capsys):
+        out_path = tmp_path / "scen.pstats"
+        assert main(["scenarios", "run", "initial_holders", "--json",
+                     "--profile", "--profile-out", str(out_path)]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout stayed machine-readable
+        assert out_path.exists() and out_path.stat().st_size > 0
+        assert "profile" in captured.err
+        assert "cumulative" in captured.err
+
+    def test_experiments_run_profile_writes_pstats(self, tmp_path, capsys):
+        import pstats
+
+        out_path = tmp_path / "exp.pstats"
+        assert main(["run", "fig6", "--quick", "--no-cache",
+                     "--profile", "--profile-out", str(out_path)]) == 0
+        assert out_path.exists()
+        stats = pstats.Stats(str(out_path))
+        assert stats.total_calls > 0
+
+    def test_profile_off_writes_nothing(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        assert main(["scenarios", "run", "initial_holders", "--json"]) == 0
+        assert not (tmp_path / "profile.pstats").exists()
+
+
+@pytest.mark.parametrize("name", ["scale_10k", "scale_100k"])
+def test_scale_tier_describe_digests_are_stable(name, capsys):
+    assert main(["scenarios", "describe", name]) == 0
+    first = capsys.readouterr().out
+    assert main(["scenarios", "describe", name]) == 0
+    assert capsys.readouterr().out == first

@@ -1,0 +1,145 @@
+"""Flat engine behaviour: reliability, determinism, oracle cleanliness."""
+
+import dataclasses
+
+import pytest
+
+from repro.scale.engine import CommutativeTraceDigest, run_flat
+from repro.scale.scenarios import (
+    get_scale_scenario,
+    scale_scenario_names,
+    scale_scenarios,
+)
+from repro.scenario.library import scale_spec
+
+
+def small_spec(seed=1):
+    """4 regions x 6 members, lossy enough that recovery always fires."""
+    return scale_spec(
+        regions=4, members_per_region=6, messages=4, loss_rate=0.3, seed=seed,
+    )
+
+
+def remote_heavy_spec(seed=2):
+    """Tiny regions + heavy loss: whole regions miss, forcing parent
+    (remote) recovery instead of local repair."""
+    return scale_spec(
+        regions=6, members_per_region=3, messages=3, loss_rate=0.6, seed=seed,
+    )
+
+
+class TestReliability:
+    def test_every_member_eventually_delivers_everything(self):
+        result = run_flat(small_spec())
+        assert result.delivered_fraction == 1.0
+        assert result.reliability_violations == 0
+        assert result.recoveries > 0
+
+    def test_remote_recovery_path_is_exercised(self):
+        result = run_flat(remote_heavy_spec(), keep_records=True)
+        assert result.delivered_fraction == 1.0
+        kinds = {
+            record.kind
+            for engine in result.engines
+            for record in engine.trace.records
+        }
+        assert "remote_request_served" in kinds
+
+    def test_lossless_run_never_recovers(self):
+        spec = scale_spec(regions=3, members_per_region=5, messages=3,
+                          loss_rate=0.0)
+        result = run_flat(spec)
+        assert result.delivered_fraction == 1.0
+        assert result.recoveries == 0
+
+
+class TestDeterminism:
+    def test_same_seed_same_digest(self):
+        first = run_flat(small_spec(seed=7))
+        second = run_flat(small_spec(seed=7))
+        assert first.trace_digest == second.trace_digest
+        assert first.events_fired == second.events_fired
+
+    def test_different_seed_different_digest(self):
+        assert (run_flat(small_spec(seed=1)).trace_digest
+                != run_flat(small_spec(seed=2)).trace_digest)
+
+
+class TestOracle:
+    def test_serial_flat_run_is_invariant_clean(self):
+        result = run_flat(small_spec(), oracle=True)
+        assert result.invariant_violations == 0
+        assert result.oracle_records_checked > 0
+
+    def test_sharded_flat_run_is_invariant_clean(self):
+        result = run_flat(remote_heavy_spec(), shards=2, oracle=True)
+        assert result.invariant_violations == 0
+        assert result.oracle_records_checked > 0
+
+
+class TestSpecGate:
+    def test_churn_spec_rejected(self):
+        spec = get_scale_scenario("scale_10k")
+        churned = spec.with_(
+            churn=dataclasses.replace(spec.churn, kind="random", leave_rate=0.01)
+        )
+        with pytest.raises(ValueError, match="churn"):
+            run_flat(churned)
+
+    def test_unbounded_recovery_rejected(self):
+        spec = small_spec()
+        unbounded = spec.with_(
+            policy=dataclasses.replace(spec.policy, max_recovery_time=None),
+            measurement=dataclasses.replace(spec.measurement, duration=100.0),
+        )
+        with pytest.raises(ValueError, match="max_recovery_time"):
+            run_flat(unbounded)
+
+
+class TestScaleTier:
+    def test_tier_names_resolve_to_supported_specs(self):
+        assert scale_scenario_names() == ["scale_10k", "scale_100k"]
+        for name, spec in scale_scenarios().items():
+            assert spec.name == name
+            assert spec.topology.member_count() >= 10_000
+
+    def test_unknown_tier_name_lists_catalogue(self):
+        with pytest.raises(KeyError, match="scale_100k"):
+            get_scale_scenario("scale_1M")
+
+
+class TestCommutativeDigest:
+    def _lines(self):
+        return [
+            b'{"kind": "a", "t": 1.0}',
+            b'{"kind": "b", "t": 2.0}',
+            b'{"kind": "c", "t": 3.0}',
+        ]
+
+    def _digest_of(self, lines):
+        import hashlib
+        digest = CommutativeTraceDigest()
+        for line in lines:
+            line_hash = int.from_bytes(hashlib.sha256(line).digest(), "big")
+            digest.merge(line_hash, 1)
+        return digest
+
+    def test_order_independent(self):
+        lines = self._lines()
+        assert (self._digest_of(lines).hexdigest()
+                == self._digest_of(list(reversed(lines))).hexdigest())
+
+    def test_merge_equals_single_stream(self):
+        lines = self._lines()
+        combined = self._digest_of(lines)
+        left = self._digest_of(lines[:1])
+        right = self._digest_of(lines[1:])
+        left.merge(*right.state)
+        assert left.hexdigest() == combined.hexdigest()
+
+    def test_count_disambiguates_truncation(self):
+        lines = self._lines()
+        full = self._digest_of(lines)
+        partial = self._digest_of(lines[:2])
+        assert full.hexdigest() != partial.hexdigest()
+        assert full.hexdigest().endswith("-3")
