@@ -1,0 +1,56 @@
+"""Congestion control for the RRMP sender (closed-loop rate adaptation).
+
+The paper's buffer-quota argument (§3.2: ~C long-term copies per region
+suffice) holds only while senders do not outrun the recovery machinery;
+the ``overload_onset`` scenario documents the collapse when they do.
+This package closes the loop, in the spirit of NORM's TCP-friendly
+multicast congestion control (TFMCC):
+
+* :mod:`repro.cc.controller` — the :class:`CongestionController`
+  protocol and its implementations: :class:`NoneCc` (open loop,
+  byte-identical to the historical sender), :class:`TfmccController`
+  (equation-based rate from the worst receiver's loss/RTT feedback) and
+  :class:`AimdController` (additive-increase / multiplicative-decrease
+  baseline);
+* :mod:`repro.cc.feedback` — receiver-side periodic
+  :class:`~repro.protocol.messages.FeedbackReport` unicasts back to the
+  sender (armed only when a controller is configured);
+* :mod:`repro.cc.driver` — :class:`CongestionDriver`, the clock-driven
+  send loop pulling arrivals from a
+  :class:`~repro.workloads.traffic.TrafficGenerator` under controller
+  credit, plus sender-side feedback/NACK plumbing and adaptive FEC
+  parity shifting;
+* :mod:`repro.cc.fairness` — a shared-bottleneck duel between two
+  competing controllers with Jain's fairness index.
+
+The same driver runs under the simulator and the live asyncio backend
+(both satisfy the ``now``/``at`` clock surface).
+"""
+
+from repro.cc.controller import (
+    AimdController,
+    CongestionController,
+    NoneCc,
+    TfmccController,
+    controller_for,
+    tcp_friendly_rate,
+)
+from repro.cc.driver import CongestionDriver
+from repro.cc.fairness import FairnessResult, jain_index, run_fairness_duel
+from repro.cc.feedback import FeedbackReporter, build_feedback, install_feedback_reporters
+
+__all__ = [
+    "AimdController",
+    "CongestionController",
+    "CongestionDriver",
+    "FairnessResult",
+    "FeedbackReporter",
+    "NoneCc",
+    "TfmccController",
+    "build_feedback",
+    "controller_for",
+    "install_feedback_reporters",
+    "jain_index",
+    "run_fairness_duel",
+    "tcp_friendly_rate",
+]

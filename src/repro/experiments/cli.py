@@ -54,7 +54,14 @@ from repro.live.cli import add_live_parser, main_live
 from repro.scenario.cli import add_scenarios_parser, main_scenarios
 from repro.validate.cli import add_validate_parser, main_validate
 
-__all__ = ["QUICK_PARAMS", "build_parser", "main", "parse_param", "runner_from_args"]
+__all__ = [
+    "QUICK_PARAMS",
+    "build_parser",
+    "fold_params",
+    "main",
+    "parse_param",
+    "runner_from_args",
+]
 
 
 def parse_param(text: str) -> tuple:
@@ -66,11 +73,49 @@ def parse_param(text: str) -> tuple:
     parse (catching spellings like ``1_0e-3``, ``inf`` or ``nan``) —
     before falling back to the raw string.  ``--param fec=true`` must
     arrive as ``True``, not the string ``"true"``.
+
+    Keys may be dotted paths: ``--param congestion.target_loss=0.02``
+    addresses a field of a sub-config.  :func:`fold_params` folds the
+    parsed pairs into the nested dict shape experiment functions (and
+    spec overrides) consume.
     """
     if "=" not in text:
         raise argparse.ArgumentTypeError(f"--param expects key=value, got {text!r}")
     key, _, raw = text.partition("=")
     return (key.strip(), _coerce_value(raw.strip()))
+
+
+def fold_params(pairs) -> dict:
+    """Fold parsed ``(key, value)`` pairs into a (possibly nested) dict.
+
+    Dotted keys become nested dicts: ``("congestion.target_loss", 0.02)``
+    lands as ``{"congestion": {"target_loss": 0.02}}``.  Mixing a scalar
+    and a nested write under one key (``a=1`` plus ``a.b=2``) is a usage
+    error, reported as such rather than silently last-wins.
+    """
+    params: dict = {}
+    for key, value in pairs:
+        parts = key.split(".")
+        cursor = params
+        for index, part in enumerate(parts[:-1]):
+            existing = cursor.get(part)
+            if existing is None:
+                existing = cursor[part] = {}
+            elif not isinstance(existing, dict):
+                prefix = ".".join(parts[: index + 1])
+                raise argparse.ArgumentTypeError(
+                    f"--param {key}={value!r} conflicts with the scalar "
+                    f"override already given for {prefix!r}"
+                )
+            cursor = existing
+        leaf = parts[-1]
+        if isinstance(cursor.get(leaf), dict):
+            raise argparse.ArgumentTypeError(
+                f"--param {key}={value!r} conflicts with the nested "
+                f"overrides already given under {key!r}"
+            )
+        cursor[leaf] = value
+    return params
 
 
 _WORD_VALUES = {"true": True, "false": False, "none": None, "null": None}
@@ -182,7 +227,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     if args.command == "run":
         params = quick_params_for(args.experiment) if args.quick else {}
-        params.update(dict(args.param))
+        params.update(fold_params(args.param))
         runner = runner_from_args(args)
         try:
             with maybe_profile(args.profile, args.profile_out):

@@ -12,6 +12,7 @@ from typing import Callable, Dict, List
 
 from repro.experiments.ablation_c import run_c_tradeoff
 from repro.experiments.ablation_churn import run_churn_handoff
+from repro.experiments.ablation_congestion import run_congestion_ablation
 from repro.experiments.ablation_fec import run_fec_ablation
 from repro.experiments.ablation_hash import run_hash_vs_random
 from repro.experiments.ablation_idle import run_idle_threshold
@@ -65,6 +66,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
                    run_fec_ablation),
         Experiment("ablation_scaling", "per-member costs as the region grows",
                    run_scaling),
+        Experiment("ablation_congestion",
+                   "adaptive-rate senders vs open loop on a bottleneck link",
+                   run_congestion_ablation),
     ]
 }
 

@@ -32,6 +32,7 @@ from typing import Dict, Set
 
 from repro.live.differential import run_differential
 from repro.live.session import LiveSession, run_spec_live
+from repro.metrics.runreport import RunReport
 from repro.live.transport import Address
 from repro.net.topology import NodeId
 from repro.scenario.registry import get_scenario
@@ -144,13 +145,15 @@ def _cmd_run(spec: ScenarioSpec, args: argparse.Namespace) -> int:
     session = asyncio.run(run_spec_live(spec, speedup=args.speedup,
                                         oracle=oracle))
     summary = session.summary()
-    failed = (oracle.violation_count > 0
-              or summary["reliability_violations"] > 0)
+    report = RunReport(
+        kind="live", scenario=spec.name, seed=spec.seed,
+        metrics=summary, oracle=oracle.report_dict(),
+        failed=(oracle.violation_count > 0
+                or summary["reliability_violations"] > 0),
+    )
     if args.as_json:
-        payload = dict(summary)
-        payload["oracle"] = oracle.report_dict()
-        print(json.dumps(payload))
-        return 1 if failed else 0
+        print(report.to_json())
+        return report.exit_code
     print(f"== live {spec.name} (seed {spec.seed}, "
           f"speedup {args.speedup:g}) ==")
     for key in ("members", "alive_members", "messages", "delivered_fraction",
@@ -159,7 +162,7 @@ def _cmd_run(spec: ScenarioSpec, args: argparse.Namespace) -> int:
                 "data_messages", "send_dropped", "time_ms"):
         print(f"  {key.replace('_', ' ').ljust(26)} {summary[key]}")
     print(f"  oracle violations          {oracle.violation_count}")
-    return 1 if failed else 0
+    return report.exit_code
 
 
 def _cmd_daemon(spec: ScenarioSpec, args: argparse.Namespace) -> int:

@@ -41,6 +41,7 @@ from repro.protocol.messages import (
     REPAIR_RELAY,
     REPAIR_REMOTE,
     DataMessage,
+    FeedbackReport,
     HandoffMessage,
     HaveReply,
     LocalRequest,
@@ -81,6 +82,12 @@ def _dec_str(value: Any) -> str:
     if not isinstance(value, str):
         raise CodecError(f"expected a string, got {value!r}")
     return value
+
+
+def _dec_float(value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise CodecError(f"expected a number, got {value!r}")
+    return float(value)
 
 
 def _enc_json_value(value: Any) -> Any:
@@ -198,6 +205,13 @@ _SCHEMAS: Dict[str, Tuple[type, Dict[str, _FieldCodec]]] = {
     "HandoffMessage": (HandoffMessage, {
         "data": (_enc_nested, _dec_nested),
         "from_member": (_enc_identity, _dec_int),
+    }),
+    "FeedbackReport": (FeedbackReport, {
+        "receiver": (_enc_identity, _dec_int),
+        "loss_estimate": (_enc_identity, _dec_float),
+        "rtt_ms": (_enc_identity, _dec_float),
+        "max_seq": (_enc_identity, _dec_int),
+        "received": (_enc_identity, _dec_int),
     }),
 }
 

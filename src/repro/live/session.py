@@ -33,6 +33,11 @@ from __future__ import annotations
 import asyncio
 from typing import Dict, List, Optional, Set
 
+from repro.cc import (
+    CongestionDriver,
+    controller_for,
+    install_feedback_reporters,
+)
 from repro.live.clock import LiveClock
 from repro.live.transport import Address, LiveTransport
 from repro.membership.churn import ChurnSchedule, random_churn
@@ -104,7 +109,7 @@ class LiveSession(MemberGroup):
         self.hold = hold
         self.hierarchy = build_hierarchy(spec.topology)
         self.hierarchy.validate()
-        self.config = build_config(spec.policy, spec.fec)
+        self.config = build_config(spec.policy, spec.fec, spec.congestion)
         self.streams = RandomStreams(spec.seed)
         self.trace = TraceLog(keep_records=spec.measurement.keep_trace)
         self.deliveries = DeliveryCounter(self.trace)
@@ -138,6 +143,9 @@ class LiveSession(MemberGroup):
         self.sender: Optional[RrmpSender] = None
         self.traffic = None
         self.message_count = 0
+        self.offered_count = 0
+        self.cc_driver: Optional[CongestionDriver] = None
+        self.cc_reporters: List = []
         self.churn: Optional[ChurnSchedule] = None
         self.stability_agents: List = []
         self.data: Optional[DataMessage] = None
@@ -231,14 +239,31 @@ class LiveSession(MemberGroup):
             if generator is not None:
                 self.traffic = generator
                 if self.sender is not None:
-                    self.message_count = generator.schedule(self)
+                    if self.config.congestion.enabled:
+                        self._install_congestion(generator)
+                    else:
+                        self.message_count = generator.schedule(self)
                 else:
-                    # Sender lives in another shard; still consume one
-                    # send_times() draw so Poisson streams stay aligned
-                    # with the sender's schedule.
-                    self.message_count = len(generator.send_times())
+                    # Sender lives in another shard; still consume the
+                    # arrival draw so Poisson streams stay aligned with
+                    # the sender's schedule.
+                    self.message_count = generator.arrival_count()
         if (
-            self.config.fec_mode != FEC_OFF
+            self.config.congestion.enabled
+            and self.sender is None
+            and self.members
+        ):
+            # Receiver shard of a congestion-controlled session: the
+            # driver lives with the sender, but feedback must still
+            # flow from here.
+            self.cc_reporters = install_feedback_reporters(
+                self.members.values(),
+                default_sender_node(self.hierarchy),
+                self.config.congestion.feedback_interval,
+            )
+        if (
+            self.cc_driver is None
+            and self.config.fec_mode != FEC_OFF
             and spec.fec.flush_after is not None
             and self.traffic is not None
             and self.message_count > 0
@@ -272,6 +297,35 @@ class LiveSession(MemberGroup):
                 join_rate=spec.churn.join_rate,
                 protect=protect,
             )
+
+    def _install_congestion(self, generator) -> None:
+        """Arm the closed send loop: driver at the sender, reporters
+        at every local receiver.  The same controller code paces the
+        live clock — ``LiveClock`` satisfies the driver's ``now``/
+        ``at`` surface."""
+        spec = self.spec
+
+        def _on_stream_complete(now: float) -> None:
+            if self.config.fec_mode != FEC_OFF and spec.fec.flush_after is not None:
+                self.sim.at(now + spec.fec.flush_after, self.sender.flush_parity)
+
+        controller = controller_for(self.config.congestion)
+        self.cc_driver = CongestionDriver(
+            self.sim,
+            self.sender,
+            generator,
+            controller,
+            trace=self.trace,
+            on_complete=_on_stream_complete,
+        )
+        self.cc_driver.start()
+        self.cc_reporters = install_feedback_reporters(
+            self.members.values(),
+            self.sender.node_id,
+            self.config.congestion.feedback_interval,
+        )
+        self.offered_count = generator.arrival_count()
+        self.message_count = self.offered_count
 
     def add_member(self, region_id: int) -> RrmpMember:
         """A new receiver joins *region_id* mid-session (churn joins)."""
@@ -316,6 +370,13 @@ class LiveSession(MemberGroup):
             await self.sim.sleep(measurement.duration)
             bounded = True
         if measurement.drain or not bounded:
+            # Periodic CC machinery (the send loop and the feedback
+            # reporters) would keep arming timers forever — stop it
+            # before waiting for quiescence.
+            if self.cc_driver is not None:
+                self.cc_driver.stop()
+            for reporter in self.cc_reporters:
+                reporter.stop()
             if self.sender is not None:
                 self.sender.stop()
             for agent in self.stability_agents:
@@ -323,6 +384,11 @@ class LiveSession(MemberGroup):
             await self.wait_quiescent()
         for agent in self.stability_agents:
             agent.stop()
+        if self.cc_driver is not None:
+            self.cc_driver.stop()
+            for reporter in self.cc_reporters:
+                reporter.stop()
+            self.message_count = self.cc_driver.sent
         return self.sim.now
 
     async def wait_quiescent(self, timeout_s: float = 30.0) -> None:
@@ -362,6 +428,10 @@ class LiveSession(MemberGroup):
         if self._closed:
             return
         self._closed = True
+        if self.cc_driver is not None:
+            self.cc_driver.stop()
+        for reporter in self.cc_reporters:
+            reporter.stop()
         if self.sender is not None:
             self.sender.stop()
         self.sim.cancel_all()
@@ -380,7 +450,7 @@ class LiveSession(MemberGroup):
         latencies = self.recovery_latencies()
         alive = self.alive_members()
         from repro.metrics.stats import mean
-        return {
+        result = {
             "scenario": self.spec.name,
             "seed": self.spec.seed,
             "digest": self.spec.digest(),
@@ -400,6 +470,11 @@ class LiveSession(MemberGroup):
             "events_fired": self.sim.events_fired,
             "time_ms": self.sim.now,
         }
+        if self.cc_driver is not None:
+            result["offered_messages"] = self.offered_count
+            result["cc_controller"] = self.cc_driver.controller.name
+            result["cc_final_interval_ms"] = self.cc_driver.controller.interval()
+        return result
 
 
 async def run_spec_live(

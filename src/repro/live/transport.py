@@ -78,6 +78,9 @@ class LiveTransport:
         self.clock = clock
         self.latency = latency
         self.loss = loss if loss is not None else NoLoss()
+        bind_clock = getattr(self.loss, "bind_clock", None)
+        if bind_clock is not None:
+            bind_clock(clock)  # rate-sensitive models need a time source
         self._loss_rng = (streams or RandomStreams(0)).stream("net", "loss")
         self.trace = trace
         self.stats = NetworkStats()

@@ -8,12 +8,14 @@ experiment harness.
 from repro.metrics.fec import FecReport, summarize_fec
 from repro.metrics.occupancy import OccupancyProbe, occupancy_balance, occupancy_summary
 from repro.metrics.report import SeriesTable, format_cell, render_table
+from repro.metrics.runreport import RunReport
 from repro.metrics.stats import Summary, mean, percentile, stdev
 from repro.metrics.timeseries import StepSeries, TraceCounter
 
 __all__ = [
     "FecReport",
     "OccupancyProbe",
+    "RunReport",
     "SeriesTable",
     "StepSeries",
     "Summary",

@@ -1,0 +1,86 @@
+"""One report carrier for every "run something, print the result" path.
+
+``scenarios run``, ``live run`` and ``validate run``/``replay`` each
+grew their own summary-dict + ``json.dumps`` + text-formatting trio.
+:class:`RunReport` is the shared carrier: an ordered flat metrics
+mapping plus an optional oracle report, with one JSON shape
+(``payload()``/``to_json()``), one content digest and the aligned-key
+text renderer the ``scenarios`` CLI established.
+
+Compatibility contract: for a report without an oracle section,
+``to_json()`` is byte-identical to ``json.dumps(metrics)`` — the
+pre-unification output of every consumer — and ``to_text(title)``
+reproduces the ``scenarios run`` text format exactly (keys left-
+justified to the longest, floats rendered ``%.4g``).  Pipelines built
+against the old outputs keep parsing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+
+@dataclass
+class RunReport:
+    """The outcome of one run, ready to print or ship.
+
+    ``kind`` tags the producing surface (``"scenario"``, ``"live"``,
+    ``"validate"``); ``metrics`` is the flat ordered summary mapping
+    the producer assembled; ``oracle`` — when present — lands under an
+    ``"oracle"`` key appended to the JSON payload (the ``live run
+    --json`` shape); ``failed`` drives :attr:`exit_code`.
+    """
+
+    kind: str
+    scenario: str
+    seed: int
+    metrics: Mapping = field(default_factory=dict)
+    oracle: Optional[Mapping] = None
+    failed: bool = False
+
+    def payload(self) -> dict:
+        """The JSON-ready dict: metrics, plus ``oracle`` when attached."""
+        result = dict(self.metrics)
+        if self.oracle is not None:
+            result["oracle"] = dict(self.oracle)
+        return result
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize :meth:`payload` (compact by default, like the CLIs)."""
+        return json.dumps(self.payload(), indent=indent)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical (sorted-key) payload JSON.
+
+        Stable across dict insertion order, so two runs with identical
+        content digest identically however their summaries were built.
+        """
+        canonical = json.dumps(self.payload(), sort_keys=True,
+                               separators=(",", ":"), default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code: 0 clean, 1 failed."""
+        return 1 if self.failed else 0
+
+    def to_text(self, title: Optional[str] = None) -> str:
+        """Aligned-key text block (the ``scenarios run`` format).
+
+        *title* defaults to ``== {kind} {scenario} (seed {seed}) ==``.
+        Floats render ``%.4g``; keys are left-justified to the longest.
+        """
+        if title is None:
+            title = f"== {self.kind} {self.scenario} (seed {self.seed}) =="
+        lines = [title]
+        summary = self.payload()
+        if summary:
+            width = max(len(key) for key in summary)
+            for key, value in summary.items():
+                if isinstance(value, float):
+                    value = f"{value:.4g}"
+                lines.append(f"  {key.ljust(width)}  {value}")
+        return "\n".join(lines)

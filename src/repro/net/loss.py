@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
+from collections import deque
 from typing import Dict, Optional, Set, Tuple
 
 from repro.net.topology import Hierarchy, NodeId
@@ -112,6 +113,78 @@ class RegionCorrelatedLoss(LossModel):
         if region_lost:
             return True
         return rng.random() < self.receiver_loss
+
+
+class BottleneckLoss(LossModel):
+    """Congestion loss at a capacity-constrained shared link.
+
+    Models the regime adaptive senders exist for: the data plane shares
+    a bottleneck of ``capacity`` packet deliveries per second — counted
+    per (src, dst) attempt, so a multicast to *n* receivers spends *n*
+    units, and repairs spend from the same budget (overload degrades
+    recovery too).  Every droppable delivery attempt is timestamped;
+    when the attempt rate over the trailing ``window_ms`` exceeds
+    capacity, each data packet drops with the excess ratio
+    ``1 - capacity/rate`` (random early drop at the queue) on top of
+    the independent ``base_loss``.  Below capacity only ``base_loss``
+    applies.
+
+    Needs a clock: the owning transport calls :meth:`bind_clock` with
+    its time source (the simulator or a live clock — anything with a
+    ``now`` property).
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        window_ms: float = 250.0,
+        base_loss: float = 0.0,
+        kinds: Optional[Set[str]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0 msgs/s, got {capacity!r}")
+        if window_ms <= 0:
+            raise ValueError(f"window_ms must be > 0, got {window_ms!r}")
+        if not 0 <= base_loss <= 1:
+            raise ValueError(f"base_loss must be in [0, 1], got {base_loss!r}")
+        self.capacity = capacity
+        self.window_ms = window_ms
+        self.base_loss = base_loss
+        self.kinds = {"data"} if kinds is None else set(kinds)
+        self.clock = None
+        self._attempts: deque = deque()
+
+    def bind_clock(self, clock) -> None:
+        """Attach the time source (called by the transport)."""
+        self.clock = clock
+
+    def current_rate(self) -> float:
+        """Offered data-plane rate over the trailing window, msgs/s."""
+        return len(self._attempts) * 1000.0 / self.window_ms
+
+    def excess_ratio(self) -> float:
+        """The fraction of offered load beyond capacity (0 when under)."""
+        rate = self.current_rate()
+        if rate <= self.capacity:
+            return 0.0
+        return 1.0 - self.capacity / rate
+
+    def is_lost(self, src: NodeId, dst: NodeId, kind: str, rng: random.Random) -> bool:
+        if kind not in self.kinds:
+            return False
+        if self.clock is None:
+            raise RuntimeError(
+                "BottleneckLoss has no clock; the transport must call "
+                "bind_clock() before traffic flows"
+            )
+        now = self.clock.now
+        cutoff = now - self.window_ms
+        attempts = self._attempts
+        while attempts and attempts[0] <= cutoff:
+            attempts.popleft()
+        attempts.append(now)
+        p = self.base_loss + (1.0 - self.base_loss) * self.excess_ratio()
+        return rng.random() < p
 
 
 class GilbertElliottLoss(LossModel):

@@ -97,6 +97,9 @@ class Network:
         self.sim = sim
         self.latency = latency
         self.loss = loss if loss is not None else NoLoss()
+        bind_clock = getattr(self.loss, "bind_clock", None)
+        if bind_clock is not None:
+            bind_clock(sim)  # rate-sensitive models need a time source
         self._loss_rng = (streams or RandomStreams(0)).stream("net", "loss")
         self.trace = trace
         self.stats = NetworkStats()

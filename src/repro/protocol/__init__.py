@@ -15,10 +15,16 @@ from typing import TYPE_CHECKING
 
 #: export name -> submodule that defines it
 _EXPORTS = {
+    "CC_AIMD": "config",
+    "CC_CONTROLLERS": "config",
+    "CC_NONE": "config",
+    "CC_TFMCC": "config",
     "CONTROL_WIRE_SIZE": "messages",
+    "CongestionConfig": "config",
     "DATA_WIRE_SIZE": "messages",
     "DataMessage": "messages",
     "FEC_MODES": "config",
+    "FeedbackReport": "messages",
     "FEC_OFF": "config",
     "FEC_PROACTIVE": "config",
     "FEC_REACTIVE": "config",
@@ -79,11 +85,16 @@ def __dir__():
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.protocol.config import (
+        CC_AIMD,
+        CC_CONTROLLERS,
+        CC_NONE,
+        CC_TFMCC,
         FEC_MODES,
         FEC_OFF,
         FEC_PROACTIVE,
         FEC_REACTIVE,
         PAPER_SECTION4_CONFIG,
+        CongestionConfig,
         RrmpConfig,
     )
     from repro.protocol.loss_detection import GapTracker
@@ -105,6 +116,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         REPAIR_RELAY,
         REPAIR_REMOTE,
         DataMessage,
+        FeedbackReport,
         HandoffMessage,
         HaveReply,
         LocalRequest,

@@ -13,7 +13,7 @@ to the values used in the paper's §4 evaluation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 #: FEC operating modes (see :mod:`repro.fec`).
@@ -21,6 +21,88 @@ FEC_OFF = "off"                # no erasure coding (the paper's protocol)
 FEC_PROACTIVE = "proactive"    # parity multicast as each block fills
 FEC_REACTIVE = "reactive"      # parity multicast on first observed request
 FEC_MODES = (FEC_OFF, FEC_PROACTIVE, FEC_REACTIVE)
+
+#: Congestion controllers (see :mod:`repro.cc`).
+CC_NONE = "none"        # open loop: today's behaviour, byte-identical
+CC_TFMCC = "tfmcc"      # NORM-style TCP-friendly, worst-receiver tracking
+CC_AIMD = "aimd"        # additive-increase / multiplicative-decrease baseline
+CC_CONTROLLERS = (CC_NONE, CC_TFMCC, CC_AIMD)
+
+
+@dataclass(frozen=True)
+class CongestionConfig:
+    """Congestion-control sub-configuration (see :mod:`repro.cc`).
+
+    Groups what would otherwise be six more flat ``RrmpConfig`` kwargs.
+    The default — controller ``"none"`` — reproduces the open-loop
+    sender byte-identically: no feedback reporters are armed and the
+    traffic generator is installed on the simulator unchanged.
+    """
+
+    #: Which controller drives the sender (one of :data:`CC_CONTROLLERS`).
+    controller: str = CC_NONE
+
+    #: Loss fraction the controller steers the worst receiver towards.
+    target_loss: float = 0.05
+
+    #: Rate floor/ceiling in messages per second.  The controller's
+    #: inter-send credit is clamped to ``[1000/max_rate, 1000/min_rate]``
+    #: milliseconds.
+    min_rate: float = 1.0
+    max_rate: float = 1000.0
+
+    #: How often each receiver unicasts a :class:`FeedbackReport` to the
+    #: sender, in milliseconds.
+    feedback_interval: float = 50.0
+
+    #: Adaptive-FEC parity-shift bounds.  When ``parity_max`` is set and
+    #: the sender runs with ``fec_mode != "off"``, rising loss shifts the
+    #: encoder's parity budget up towards ``parity_max`` (and the rate
+    #: down); falling loss relaxes it back towards ``parity_min`` (which
+    #: defaults to the configured ``fec_parity``).  ``parity_max=None``
+    #: disables parity shifting.
+    parity_min: Optional[int] = None
+    parity_max: Optional[int] = None
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a real controller (not ``"none"``) is configured."""
+        return self.controller != CC_NONE
+
+    def __post_init__(self) -> None:
+        if self.controller not in CC_CONTROLLERS:
+            raise ValueError(
+                f"controller must be one of {CC_CONTROLLERS}, got {self.controller!r}"
+            )
+        if not 0.0 <= self.target_loss < 1.0:
+            raise ValueError(f"target_loss must be in [0, 1), got {self.target_loss!r}")
+        if self.min_rate <= 0:
+            raise ValueError(f"min_rate must be > 0, got {self.min_rate!r}")
+        if self.max_rate < self.min_rate:
+            raise ValueError(
+                f"max_rate must be >= min_rate, got {self.max_rate!r} < {self.min_rate!r}"
+            )
+        if self.feedback_interval <= 0:
+            raise ValueError(
+                f"feedback_interval must be > 0, got {self.feedback_interval!r}"
+            )
+        for name in ("parity_min", "parity_max"):
+            bound = getattr(self, name)
+            if bound is not None and bound < 1:
+                raise ValueError(f"{name} must be >= 1 or None, got {bound!r}")
+        if (
+            self.parity_min is not None
+            and self.parity_max is not None
+            and self.parity_min > self.parity_max
+        ):
+            raise ValueError(
+                f"parity_min must be <= parity_max, got "
+                f"{self.parity_min!r} > {self.parity_max!r}"
+            )
+
+    def with_overrides(self, **changes: object) -> "CongestionConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
 
 
 @dataclass(frozen=True)
@@ -88,6 +170,10 @@ class RrmpConfig:
     fec_mode: str = FEC_OFF
     fec_block_size: int = 8
     fec_parity: int = 1
+
+    #: Congestion-control sub-configuration (see :mod:`repro.cc`).  The
+    #: default controller ``"none"`` keeps the open-loop sender.
+    congestion: CongestionConfig = field(default_factory=CongestionConfig)
 
     def __post_init__(self) -> None:
         if self.remote_lambda < 0:

@@ -142,6 +142,29 @@ class SessionMessage:
 
 
 @dataclass(frozen=True)
+class FeedbackReport:
+    """Receiver → sender congestion feedback (see :mod:`repro.cc`).
+
+    Armed only when a congestion controller is configured; each
+    receiver periodically unicasts its locally observed state so the
+    sender can track the worst-percentile receiver (NORM/TFMCC style):
+    ``loss_estimate`` is the fraction of the sender's stream the
+    receiver has not (yet) delivered, ``rtt_ms`` its current RTT
+    estimate towards the sender, ``max_seq`` the highest sequence it
+    knows about and ``received`` how many distinct data messages it has
+    delivered.
+    """
+
+    receiver: NodeId
+    loss_estimate: float
+    rtt_ms: float
+    max_seq: Seq
+    received: int
+    kind: str = field(default=KIND_CONTROL, repr=False)
+    wire_size: int = field(default=CONTROL_WIRE_SIZE, repr=False)
+
+
+@dataclass(frozen=True)
 class SearchRequest:
     """A remote request being walked through the region to find a bufferer (§3.3).
 
@@ -199,4 +222,5 @@ WIRE_MESSAGE_TYPES = (
     SearchRequest,
     HaveReply,
     HandoffMessage,
+    FeedbackReport,
 )

@@ -41,6 +41,7 @@ from repro.scenario.registry import (
 )
 from repro.scenario.spec import (
     ChurnSpec,
+    CongestionSpec,
     FecSpec,
     LossSpec,
     MeasurementSpec,
@@ -53,6 +54,7 @@ from repro.scenario.spec import (
 __all__ = [
     "BuiltScenario",
     "ChurnSpec",
+    "CongestionSpec",
     "FecSpec",
     "LossSpec",
     "MeasurementSpec",

@@ -29,6 +29,7 @@ from typing import Optional, Tuple
 from repro.scenario.materialize import BuiltScenario
 from repro.scenario.spec import (
     ChurnSpec,
+    CongestionSpec,
     FecSpec,
     LossSpec,
     ScenarioSpec,
@@ -178,6 +179,19 @@ class ScenarioBuilder:
             p_good=float(p_good), p_bad=float(p_bad),
         ))
 
+    def bottleneck(self, capacity: float, window: float = 250.0,
+                   receiver_loss: float = 0.0) -> "ScenarioBuilder":
+        """A shared link of *capacity* packet deliveries/s (counted
+        per-receiver over a trailing *window* ms): data packets —
+        multicasts and repairs alike — drop with the excess ratio
+        beyond capacity, plus an independent *receiver_loss* floor.
+        The loss model whose drop rate answers to offered load;
+        congestion-control ablations run on it."""
+        return self._loss(LossSpec(
+            kind="bottleneck", capacity=float(capacity),
+            window=float(window), receiver_loss=float(receiver_loss),
+        ))
+
     def _loss(self, loss: LossSpec) -> "ScenarioBuilder":
         self._spec = replace(self._spec, loss=loss)
         return self
@@ -255,6 +269,21 @@ class ScenarioBuilder:
             kind="random", leave_rate=float(leave_rate),
             crash_rate=float(crash_rate), join_rate=float(join_rate),
             duration=float(duration), protect_sender=bool(protect_sender),
+        ))
+        return self
+
+    def congestion(self, controller: str, target_loss: float = 0.05,
+                   min_rate: float = 1.0, max_rate: float = 1000.0,
+                   feedback_interval: float = 50.0,
+                   parity_min: Optional[int] = None,
+                   parity_max: Optional[int] = None) -> "ScenarioBuilder":
+        """Congestion control: ``none``/``tfmcc``/``aimd`` (rates msgs/s)."""
+        self._spec = replace(self._spec, congestion=CongestionSpec(
+            controller=str(controller), target_loss=float(target_loss),
+            min_rate=float(min_rate), max_rate=float(max_rate),
+            feedback_interval=float(feedback_interval),
+            parity_min=parity_min if parity_min is None else int(parity_min),
+            parity_max=parity_max if parity_max is None else int(parity_max),
         ))
         return self
 

@@ -31,9 +31,9 @@ functions by cumulative time go to stderr, leaving stdout clean for
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 
+from repro.metrics.runreport import RunReport
 from repro.runner.profiling import maybe_profile
 from repro.scale.engine import run_flat
 from repro.scale.scenarios import get_scale_scenario, scale_scenarios
@@ -54,6 +54,10 @@ def add_scenarios_parser(commands) -> None:
     run.add_argument("name")
     run.add_argument("--seed", type=int, default=None,
                      help="override the spec's master seed")
+    run.add_argument("--param", action="append", default=[], metavar="K=V",
+                     help="override a spec field by dotted path, e.g. "
+                          "--param congestion.controller=tfmcc "
+                          "--param congestion.target_loss=0.02")
     run.add_argument("--json", action="store_true", dest="as_json",
                      help="print the run summary as JSON")
     run.add_argument("--shards", type=int, default=1, metavar="N",
@@ -131,9 +135,51 @@ def _cmd_describe(spec) -> int:
     return 0
 
 
+def _apply_spec_overrides(spec, pairs):
+    """Apply dotted-path ``--param`` overrides onto a frozen spec tree.
+
+    Each path segment names a field on the current (sub-)spec; the leaf
+    assignment runs through ``dataclasses.replace``, so the sub-spec's
+    ``__post_init__`` validation re-fires on the overridden value.
+    """
+    import dataclasses
+
+    for key, value in pairs:
+        parts = key.split(".")
+        node = spec
+        chain = [spec]
+        for part in parts[:-1]:
+            if not hasattr(node, part):
+                raise ValueError(
+                    f"--param {key}: {type(node).__name__} has no field {part!r}"
+                )
+            node = getattr(node, part)
+            chain.append(node)
+        leaf = parts[-1]
+        if not hasattr(node, leaf):
+            raise ValueError(
+                f"--param {key}: {type(node).__name__} has no field {leaf!r}"
+            )
+        updated = dataclasses.replace(node, **{leaf: value})
+        for parent, part in zip(reversed(chain[:-1]), reversed(parts[:-1])):
+            updated = dataclasses.replace(parent, **{part: updated})
+        spec = updated
+    return spec
+
+
 def _cmd_run(spec, is_scale: bool, args: argparse.Namespace) -> int:
     if args.seed is not None:
         spec = spec.with_(seed=args.seed)
+    if args.param:
+        from repro.experiments.cli import parse_param
+
+        try:
+            spec = _apply_spec_overrides(
+                spec, [parse_param(text) for text in args.param]
+            )
+        except (TypeError, ValueError, argparse.ArgumentTypeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     if args.shards < 1:
         print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
         return 2
@@ -149,13 +195,10 @@ def _cmd_run(spec, is_scale: bool, args: argparse.Namespace) -> int:
             built = spec.build()
             built.run()
             summary = built.summary()
+    report = RunReport(kind="scenario", scenario=spec.name, seed=spec.seed,
+                       metrics=summary)
     if args.as_json:
-        print(json.dumps(summary))
+        print(report.to_json())
         return 0
-    print(f"== scenario {spec.name} (seed {spec.seed}) ==")
-    width = max(len(key) for key in summary)
-    for key, value in summary.items():
-        if isinstance(value, float):
-            value = f"{value:.4g}"
-        print(f"  {key.ljust(width)}  {value}")
+    print(report.to_text(f"== scenario {spec.name} (seed {spec.seed}) =="))
     return 0

@@ -200,6 +200,25 @@ def _overload_onset() -> ScenarioSpec:
 
 
 @register_scenario(
+    "overload_onset_cc",
+    description="overload_onset with a TFMCC controller pacing the "
+    "sender off worst-receiver feedback",
+)
+def _overload_onset_cc() -> ScenarioSpec:
+    return (
+        scenario("overload_onset_cc")
+        .describe("accelerating stream, but the sender yields to feedback")
+        .single_region(50)
+        .ramp(40, initial_interval=25.0, final_interval=2.5, start=1.0)
+        .loss(p=0.10)
+        .congestion("tfmcc", target_loss=0.02, min_rate=5.0,
+                    max_rate=400.0, feedback_interval=100.0)
+        .protocol(max_recovery_time=1_500.0)
+        .measure(horizon=2_500.0)
+    ).spec()
+
+
+@register_scenario(
     "heterogeneous_regions",
     description="grid-style hierarchy with very unequal region sizes "
     "and regional losses",

@@ -49,7 +49,7 @@ from repro.net.ipmulticast import (
     RegionCorrelatedOutcome,
 )
 from repro.net.latency import HierarchicalLatency
-from repro.net.loss import GilbertElliottLoss, LossModel
+from repro.net.loss import BottleneckLoss, GilbertElliottLoss, LossModel
 from repro.net.topology import (
     Hierarchy,
     NodeId,
@@ -58,10 +58,12 @@ from repro.net.topology import (
     single_region,
     star,
 )
-from repro.protocol.config import FEC_OFF, RrmpConfig
+from repro.cc import CongestionDriver, controller_for, install_feedback_reporters
+from repro.protocol.config import FEC_OFF, CongestionConfig, RrmpConfig
 from repro.protocol.messages import DataMessage
 from repro.protocol.rrmp import RrmpSimulation
 from repro.scenario.spec import (
+    CongestionSpec,
     FecSpec,
     LossSpec,
     PolicySpec,
@@ -92,8 +94,24 @@ def build_hierarchy(topology: TopologySpec) -> Hierarchy:
     return balanced_tree(topology.depth, topology.fanout, topology.n)
 
 
-def build_config(policy: PolicySpec, fec: FecSpec) -> RrmpConfig:
-    """Protocol configuration from the policy and FEC specs."""
+def build_congestion_config(congestion: Optional[CongestionSpec]) -> CongestionConfig:
+    """The protocol-level congestion sub-config a spec node describes."""
+    if congestion is None:
+        return CongestionConfig()
+    return CongestionConfig(
+        controller=congestion.controller,
+        target_loss=congestion.target_loss,
+        min_rate=congestion.min_rate,
+        max_rate=congestion.max_rate,
+        feedback_interval=congestion.feedback_interval,
+        parity_min=congestion.parity_min,
+        parity_max=congestion.parity_max,
+    )
+
+
+def build_config(policy: PolicySpec, fec: FecSpec,
+                 congestion: Optional[CongestionSpec] = None) -> RrmpConfig:
+    """Protocol configuration from the policy, FEC and congestion specs."""
     return RrmpConfig(
         remote_lambda=policy.remote_lambda,
         long_term_c=policy.c,
@@ -106,6 +124,7 @@ def build_config(policy: PolicySpec, fec: FecSpec) -> RrmpConfig:
         fec_mode=fec.mode,
         fec_block_size=fec.block_size,
         fec_parity=fec.parity,
+        congestion=build_congestion_config(congestion),
     )
 
 
@@ -128,14 +147,20 @@ def policy_factory_for(policy: PolicySpec) -> Optional[PolicyFactory]:
 
 def transport_loss_for(loss: LossSpec) -> Optional[LossModel]:
     """The spec's transport-level loss model (``None`` = lossless)."""
-    if loss.kind != "gilbert_elliott":
-        return None
-    return GilbertElliottLoss(
-        p_good_to_bad=loss.p_good_to_bad,
-        p_bad_to_good=loss.p_bad_to_good,
-        p_good=loss.p_good,
-        p_bad=loss.p_bad,
-    )
+    if loss.kind == "gilbert_elliott":
+        return GilbertElliottLoss(
+            p_good_to_bad=loss.p_good_to_bad,
+            p_bad_to_good=loss.p_bad_to_good,
+            p_good=loss.p_good,
+            p_bad=loss.p_bad,
+        )
+    if loss.kind == "bottleneck":
+        return BottleneckLoss(
+            capacity=loss.capacity,
+            window_ms=loss.window,
+            base_loss=loss.receiver_loss,
+        )
+    return None
 
 
 def outcome_for(loss: LossSpec) -> Optional[MulticastOutcome]:
@@ -144,7 +169,9 @@ def outcome_for(loss: LossSpec) -> Optional[MulticastOutcome]:
         return BernoulliOutcome(loss.p)
     if loss.kind == "fixed_holders":
         return FixedHolderCount(loss.k)
-    return None  # none / gilbert_elliott -> perfect; region_correlated -> post-wire
+    # none / gilbert_elliott / bottleneck -> perfect initial multicast
+    # (those models live in the transport); region_correlated -> post-wire
+    return None
 
 
 def traffic_generator_for(
@@ -201,6 +228,14 @@ class BuiltScenario:
     #: Invariant oracle (:mod:`repro.validate`), attached when
     #: ``measurement.oracle`` is set; ``run()`` finalizes it.
     oracle: Optional["InvariantOracle"] = None
+    #: Closed-loop send driver (:mod:`repro.cc`), present when the
+    #: spec's congestion controller is not ``"none"``.  ``run()``
+    #: refreshes ``message_count`` from its actual send count.
+    cc_driver: Optional[CongestionDriver] = None
+    cc_reporters: List = field(default_factory=list)
+    #: Offered-load arrival count (equals ``message_count`` unless a
+    #: congestion controller left arrivals unsent at the horizon).
+    offered_count: int = 0
     total_probe: Optional[OccupancyProbe] = None
     node_probe: Optional[OccupancyProbe] = None
     data: Optional[DataMessage] = None
@@ -228,10 +263,23 @@ class BuiltScenario:
         if measurement.drain or not bounded:
             # Drain (the explicit ``drain`` flag, possibly after a bounded
             # run, or the no-bound default): stop the session heartbeat
-            # first or the queue never empties.
+            # first or the queue never empties.  Feedback reporters and
+            # the CC send loop are periodic too — stop them or drain
+            # never terminates.
+            if self.cc_driver is not None:
+                self.cc_driver.stop()
+            for reporter in self.cc_reporters:
+                reporter.stop()
             if simulation.config.session_interval is not None:
                 simulation.sender.stop()
             simulation.sim.drain()
+        if self.cc_driver is not None:
+            self.cc_driver.stop()
+            for reporter in self.cc_reporters:
+                reporter.stop()
+            # Under congestion control ``message_count`` is what the
+            # paced sender actually transmitted, not the offered load.
+            self.message_count = self.cc_driver.sent
         if self.total_probe is not None:
             self.total_probe.stop()
         if self.node_probe is not None:
@@ -269,6 +317,10 @@ class BuiltScenario:
             result["peak_node_occupancy"] = self.peak_node_occupancy
         if self.oracle is not None:
             result["invariant_violations"] = self.oracle.violation_count
+        if self.cc_driver is not None:
+            result["offered_messages"] = self.offered_count
+            result["cc_controller"] = self.cc_driver.controller.name
+            result["cc_final_interval_ms"] = self.cc_driver.controller.interval()
         return result
 
 
@@ -336,7 +388,7 @@ def inject_search_probe(group, traffic: TrafficSpec):
 def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
     """Materialize *spec*: simulation built, traffic and churn scheduled."""
     hierarchy = build_hierarchy(spec.topology)
-    config = build_config(spec.policy, spec.fec)
+    config = build_config(spec.policy, spec.fec, spec.congestion)
     simulation = RrmpSimulation(
         hierarchy,
         config=config,
@@ -398,10 +450,45 @@ def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
         generator = traffic_generator_for(spec.traffic, spec, simulation.streams)
         if generator is not None:
             built.traffic = generator
-            built.message_count = generator.schedule(simulation)
+            if spec.congestion.enabled:
+                flush_fec = (
+                    config.fec_mode != FEC_OFF
+                    and spec.fec.flush_after is not None
+                )
+
+                def _on_stream_complete(now: float) -> None:
+                    if flush_fec:
+                        simulation.sim.at(
+                            now + spec.fec.flush_after,
+                            simulation.sender.flush_parity,
+                        )
+
+                controller = controller_for(config.congestion)
+                built.cc_driver = CongestionDriver(
+                    simulation.sim,
+                    simulation.sender,
+                    generator,
+                    controller,
+                    trace=simulation.trace,
+                    on_complete=_on_stream_complete,
+                )
+                built.cc_driver.start()
+                built.cc_reporters = install_feedback_reporters(
+                    simulation.members.values(),
+                    simulation.sender.node_id,
+                    config.congestion.feedback_interval,
+                )
+                built.offered_count = generator.arrival_count()
+                built.message_count = built.offered_count
+            else:
+                built.message_count = generator.schedule(simulation)
 
     if config.fec_mode != FEC_OFF and spec.fec.flush_after is not None:
-        if built.traffic is not None and built.message_count > 0:
+        if (
+            built.cc_driver is None
+            and built.traffic is not None
+            and built.message_count > 0
+        ):
             simulation.sim.at(
                 built.traffic.end_time() + spec.fec.flush_after,
                 simulation.sender.flush_parity,

@@ -35,11 +35,13 @@ TRAFFIC_KINDS = (
 )
 LOSS_KINDS = (
     "none", "bernoulli", "fixed_holders", "region_correlated", "gilbert_elliott",
+    "bottleneck",
 )
 CHURN_KINDS = ("none", "random")
 POLICY_KINDS = (
     "two_phase", "fixed_time", "stability", "hash", "never_discard", "no_buffer",
 )
+CONGESTION_KINDS = ("none", "tfmcc", "aimd")
 
 _S = TypeVar("_S")
 
@@ -166,7 +168,15 @@ class LossSpec:
       ``receiver_loss``;
     * ``gilbert_elliott`` — a two-state (good/bad) Markov channel per
       directed link, applied to every data packet in the transport
-      (initial multicast *and* repairs): bursty wireless-style loss.
+      (initial multicast *and* repairs): bursty wireless-style loss;
+    * ``bottleneck`` — a capacity-constrained shared link of
+      ``capacity`` packet deliveries per second (counted per-receiver,
+      so one multicast to *n* members spends *n* units) measured over
+      a trailing ``window`` ms: data packets (multicasts *and*
+      repairs) drop with the excess ratio beyond capacity, plus an
+      independent ``receiver_loss`` floor.  The congestion-control
+      ablations run on this model — it is the only one where offered
+      load feeds back into loss.
     """
 
     kind: str = "none"
@@ -178,6 +188,8 @@ class LossSpec:
     p_bad_to_good: float = 0.3
     p_good: float = 0.0
     p_bad: float = 0.5
+    capacity: float = 0.0
+    window: float = 250.0
 
     def __post_init__(self) -> None:
         _require_kind(self.kind, LOSS_KINDS, "loss")
@@ -188,6 +200,12 @@ class LossSpec:
                 raise ValueError(f"loss {name} must be in [0, 1], got {value!r}")
         if self.kind == "fixed_holders" and self.k < 0:
             raise ValueError(f"loss k must be >= 0, got {self.k}")
+        if self.kind == "bottleneck" and self.capacity <= 0:
+            raise ValueError(
+                f"bottleneck loss needs capacity > 0 msgs/s, got {self.capacity!r}"
+            )
+        if self.window <= 0:
+            raise ValueError(f"loss window must be > 0 ms, got {self.window!r}")
 
 
 @dataclass(frozen=True)
@@ -278,6 +296,45 @@ class FecSpec:
 
 
 @dataclass(frozen=True)
+class CongestionSpec:
+    """Congestion control for the sender (see :mod:`repro.cc`).
+
+    ``controller`` selects the control law:
+
+    * ``none`` — open loop (the default; byte-identical to historical
+      behaviour, feedback reporters stay unarmed);
+    * ``tfmcc`` — NORM-style TCP-friendly rate from the worst
+      receiver's loss/RTT feedback;
+    * ``aimd`` — additive-increase / multiplicative-decrease baseline.
+
+    The remaining fields mirror
+    :class:`~repro.protocol.config.CongestionConfig`: ``target_loss``
+    is the steering point, ``min_rate``/``max_rate`` bound the rate in
+    messages per second, ``feedback_interval`` paces the receivers'
+    reports (ms), and ``parity_min``/``parity_max`` bound adaptive-FEC
+    parity shifting (``parity_max=None`` disables it).
+    """
+
+    controller: str = "none"
+    target_loss: float = 0.05
+    min_rate: float = 1.0
+    max_rate: float = 1000.0
+    feedback_interval: float = 50.0
+    parity_min: Optional[int] = None
+    parity_max: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        _require_kind(self.controller, CONGESTION_KINDS, "congestion controller")
+        # Range validation is delegated to CongestionConfig at build
+        # time; the kind check here keeps bad specs unserializable.
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a real controller (not ``"none"``) is requested."""
+        return self.controller != "none"
+
+
+@dataclass(frozen=True)
 class MeasurementSpec:
     """How long to run and what to record.
 
@@ -336,6 +393,7 @@ class ScenarioSpec:
     churn: ChurnSpec = field(default_factory=ChurnSpec)
     policy: PolicySpec = field(default_factory=PolicySpec)
     fec: FecSpec = field(default_factory=FecSpec)
+    congestion: CongestionSpec = field(default_factory=CongestionSpec)
     measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
     description: str = ""
 
@@ -343,8 +401,22 @@ class ScenarioSpec:
     # Serialization
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-ready plain-dict form."""
-        return asdict(self)
+        """A JSON-ready plain-dict form.
+
+        The ``congestion`` node is omitted while it equals the default
+        (controller ``"none"``), and the bottleneck-only loss fields
+        (``capacity``, ``window``) are omitted at their defaults:
+        pre-congestion-control specs keep their serialized form — and
+        therefore their :meth:`digest` — exactly.
+        """
+        payload = asdict(self)
+        if self.congestion == CongestionSpec():
+            del payload["congestion"]
+        defaults = LossSpec()
+        for name in ("capacity", "window"):
+            if payload["loss"][name] == getattr(defaults, name):
+                del payload["loss"][name]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
@@ -356,6 +428,7 @@ class ScenarioSpec:
             "churn": ChurnSpec,
             "policy": PolicySpec,
             "fec": FecSpec,
+            "congestion": CongestionSpec,
             "measurement": MeasurementSpec,
         }
         kwargs: Dict[str, Any] = {}

@@ -25,6 +25,7 @@ import json
 import os
 import sys
 
+from repro.metrics.runreport import RunReport
 from repro.scenario.registry import get_scenario
 from repro.scenario.spec import ScenarioSpec
 from repro.sim.tracing import trace_digest
@@ -125,8 +126,9 @@ def _resolve_scenario(name: str) -> ScenarioSpec:
 
 def _run_under_oracle(spec: ScenarioSpec, as_json: bool) -> int:
     outcome = run_spec(spec)
-    if as_json:
-        payload = {
+    report = RunReport(
+        kind="validate", scenario=spec.name, seed=spec.seed,
+        metrics={
             "scenario": spec.name,
             "seed": spec.seed,
             # The digest of the spec as the user named it — run_spec
@@ -139,9 +141,12 @@ def _run_under_oracle(spec: ScenarioSpec, as_json: bool) -> int:
             "records_checked": outcome.records_checked,
             "events_fired": outcome.events_fired,
             "violations": outcome.violations,
-        }
-        print(json.dumps(payload))
-        return 1 if outcome.failed else 0
+        },
+        failed=outcome.failed,
+    )
+    if as_json:
+        print(report.to_json())
+        return report.exit_code
     print(f"== validate {spec.name} (seed {spec.seed}) ==")
     print(f"  records checked      {outcome.records_checked}")
     print(f"  events fired         {outcome.events_fired}")
@@ -191,14 +196,19 @@ def _replay_directory(directory: str, as_json: bool) -> int:
         )
         results.append(entry)
     failed = [r for r in results if r["status"] != "ok"]
-    if as_json:
-        print(json.dumps({
+    report = RunReport(
+        kind="validate", scenario=directory, seed=0,
+        metrics={
             "directory": directory,
             "artifacts": len(results),
             "failures": len(failed),
             "results": results,
-        }))
-        return 1 if failed else 0
+        },
+        failed=bool(failed),
+    )
+    if as_json:
+        print(report.to_json())
+        return report.exit_code
     print(f"== replay {directory} ({len(results)} artifacts) ==")
     for entry in results:
         name = os.path.basename(entry["artifact"])

@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.scenario.spec import (
     ChurnSpec,
+    CongestionSpec,
     FecSpec,
     LossSpec,
     MeasurementSpec,
@@ -186,6 +187,24 @@ def _sample_fec(rng: random.Random) -> FecSpec:
     )
 
 
+def _sample_congestion(rng: random.Random) -> CongestionSpec:
+    # Mostly off, so the bulk of trials keep exercising the open-loop
+    # paths; when on, small rate windows and short feedback intervals
+    # make the controller actually move within a fuzz-sized run.
+    if rng.random() < 0.7:
+        return CongestionSpec()
+    min_rate = rng.choice((1.0, 5.0, 20.0))
+    return CongestionSpec(
+        controller=rng.choice(("tfmcc", "tfmcc", "aimd")),
+        target_loss=rng.choice((0.01, 0.05, 0.15)),
+        min_rate=min_rate,
+        max_rate=min_rate * rng.choice((5.0, 20.0, 100.0)),
+        feedback_interval=rng.choice((20.0, 50.0, 100.0)),
+        parity_min=rng.choice((None, 1)),
+        parity_max=rng.choice((None, 2, 4)),
+    )
+
+
 def sample_spec(seed: int, index: int) -> ScenarioSpec:
     """The deterministically-sampled spec for trial *index* of *seed*."""
     rng = random.Random(seed * 1_000_003 + index)
@@ -195,8 +214,13 @@ def sample_spec(seed: int, index: int) -> ScenarioSpec:
     churn = _sample_churn(rng)
     policy = _sample_policy(rng)
     fec = _sample_fec(rng)
+    congestion = _sample_congestion(rng)
     session = policy.session_interval or 50.0
     duration = _traffic_end(traffic) + 3.0 * session + 100.0
+    if congestion.enabled:
+        # A throttled sender stretches the stream: the last arrival may
+        # wait for credit at min_rate before the tail settles.
+        duration += 1000.0 / congestion.min_rate + 3.0 * session
     measurement = MeasurementSpec(duration=duration, drain=True, oracle=True)
     return ScenarioSpec(
         name=f"fuzz-{seed}-{index}",
@@ -207,6 +231,7 @@ def sample_spec(seed: int, index: int) -> ScenarioSpec:
         churn=churn,
         policy=policy,
         fec=fec,
+        congestion=congestion,
         measurement=measurement,
         description=f"fuzzer sample (fuzz seed {seed}, trial {index})",
     )
@@ -267,6 +292,10 @@ def _shrink_candidates(spec: ScenarioSpec) -> List[Tuple[str, ScenarioSpec]]:
     candidates: List[Tuple[str, ScenarioSpec]] = []
     if spec.churn.kind != "none":
         candidates.append(("drop churn", replace(spec, churn=ChurnSpec())))
+    if spec.congestion.enabled:
+        candidates.append(
+            ("drop congestion", replace(spec, congestion=CongestionSpec()))
+        )
     if spec.fec.mode != "off":
         candidates.append(("drop fec", replace(spec, fec=FecSpec())))
     if spec.loss.kind != "none":

@@ -436,6 +436,113 @@ class FecAccounting(Invariant):
             )
 
 
+class CongestionQuota(Invariant):
+    """With a congestion controller enabled, the sender's paced
+    interval stays inside the configured rate window and the
+    steady-state long-term occupancy stays within the §3.2 quota.
+
+    The point of admission control is that overload cannot push
+    buffering past the paper's statistical envelope: at quiescence each
+    region's *aggregate* live long-term count must be at most
+    ``C + 6·sqrt(max(C, 1)) + 4`` per message it holds.  Without CC the
+    per-promotion check (:class:`LongTermQuota`) still applies; this
+    sweep additionally catches slow aggregate creep that individual
+    promotions never trip.  The invariant is inert (consumes nothing,
+    reports nothing) when the run's congestion controller is ``none``.
+    """
+
+    name = "congestion-quota"
+    kinds = (
+        "cc_send",
+        "cc_rate_change",
+        "long_term_selected",
+        "buffer_discard",
+        "member_left",
+        "member_crashed",
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: seq -> {node: region at promotion time} (mirrors LongTermQuota).
+        self._holders: Dict[Seq, Dict[NodeId, int]] = {}
+        #: ``None`` until the first record, then ``False`` (CC off) or
+        #: the ``(min_interval, max_interval)`` ms window.
+        self._window = None
+
+    def _rate_window(self):
+        if self._window is None:
+            congestion = getattr(
+                self._sink.simulation.config, "congestion", None
+            )
+            if congestion is None or not congestion.enabled:
+                self._window = False
+            else:
+                self._window = (
+                    1000.0 / congestion.max_rate,
+                    1000.0 / congestion.min_rate,
+                )
+        return self._window
+
+    def on_record(self, record: TraceRecord) -> None:
+        window = self._rate_window()
+        if window is False:
+            return
+        if record.kind in ("cc_send", "cc_rate_change"):
+            interval = record["interval"]
+            low, high = window
+            if not (low - 1e-9 <= interval <= high + 1e-9):
+                self.fail(
+                    record.time,
+                    f"controller interval {interval:g} ms escaped the "
+                    f"configured [{low:g}, {high:g}] ms rate window",
+                    record,
+                )
+            return
+        if record.kind in ("member_left", "member_crashed"):
+            node = record["node"]
+            for holders in self._holders.values():
+                holders.pop(node, None)
+            return
+        node, seq = record["node"], record["seq"]
+        if record.kind == "buffer_discard":
+            if record.get("was_long_term"):
+                holders = self._holders.get(seq)
+                if holders is not None:
+                    holders.pop(node, None)
+            return
+        # long_term_selected
+        holders = self._holders.setdefault(seq, {})
+        if node in holders:
+            return
+        hierarchy = self._sink.simulation.hierarchy
+        holders[node] = (
+            hierarchy.region_id_of(node) if hierarchy.contains(node) else -1
+        )
+
+    def at_end(self, ctx: EndContext) -> None:
+        if self._rate_window() is False or not ctx.quiescent:
+            return
+        c = float(ctx.simulation.config.long_term_c)
+        bound = c + 6.0 * math.sqrt(max(c, 1.0)) + 4.0
+        totals: Dict[int, int] = {}
+        messages: Dict[int, Set[Seq]] = {}
+        for seq, holders in self._holders.items():
+            for region in holders.values():
+                totals[region] = totals.get(region, 0) + 1
+                messages.setdefault(region, set()).add(seq)
+        for region, total in sorted(totals.items()):
+            budget = bound * len(messages[region])
+            if total > budget:
+                self.fail(
+                    ctx.simulation.sim.now,
+                    f"region {region} holds {total} long-term entries across "
+                    f"{len(messages[region])} messages at steady state — "
+                    f"beyond the §3.2 aggregate quota {budget:.1f} "
+                    f"(bound {bound:.1f}/message for C={c:g}) despite "
+                    "congestion control",
+                )
+
+
 def default_invariants() -> Sequence[Invariant]:
     """Fresh instances of the full invariant set, in check order."""
     return (
@@ -445,4 +552,5 @@ def default_invariants() -> Sequence[Invariant]:
         LongTermQuota(),
         RecoveryLiveness(),
         FecAccounting(),
+        CongestionQuota(),
     )

@@ -3,37 +3,141 @@
 The paper's evaluation uses single-message outcomes (Figures 6-9), but
 its design arguments are about *streams* ("When the sender multicasts a
 stream of messages, the load of long-term buffering is spread evenly",
-§3.2).  These generators schedule multi-message workloads against an
+§3.2).  These generators model multi-message workloads against an
 :class:`~repro.protocol.rrmp.RrmpSimulation` (or any facade with a
 ``sender.multicast()`` and a ``sim`` engine).
+
+Pull model
+----------
+
+A generator is an *offered-load arrival process*: a monotone sequence of
+instants at which the application hands the sender a message.  The
+congestion-control layer (:mod:`repro.cc`) consumes it one send at a
+time through :meth:`TrafficGenerator.next_send`::
+
+    t = generator.next_send(now, credit)
+
+where ``credit`` is the earliest instant the sender's congestion
+controller permits a transmission.  The returned send instant is
+``max(arrival, credit)`` — arrivals queue behind the rate limit but the
+arrival process itself never shifts, so with congestion control off
+(``credit = -inf``) the emitted instants are exactly the historical
+open-loop schedule.
+
+:meth:`TrafficGenerator.send_times` survives as a deprecation shim that
+materializes the whole arrival list for callers still wanting the
+open-loop view; :meth:`TrafficGenerator.schedule` keeps installing that
+list directly on a simulation (the congestion-off fast path, preserved
+byte-identically).
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from abc import ABC, abstractmethod
-from typing import List
+from typing import List, Optional
+
+_NO_CREDIT = float("-inf")
 
 
 class TrafficGenerator(ABC):
-    """Schedules a sequence of multicasts onto a simulation."""
+    """A pull-driven offered-load arrival process (see module docstring)."""
 
+    def __init__(self) -> None:
+        self._cursor = 0
+        self._arrival_cache: Optional[List[float]] = None
+
+    # ------------------------------------------------------------------
+    # Subclass surface
+    # ------------------------------------------------------------------
     @abstractmethod
+    def _arrival_times(self) -> List[float]:
+        """Absolute arrival instants, sorted ascending.
+
+        Called once per generator; random processes draw here and the
+        base class memoizes, so restarts replay the same arrivals.
+        """
+
+    # ------------------------------------------------------------------
+    # Pull API
+    # ------------------------------------------------------------------
+    def next_send(self, now: float, credit: float = _NO_CREDIT) -> Optional[float]:
+        """Consume the next arrival; returns its send instant or ``None``.
+
+        *credit* is the earliest controller-permitted transmission
+        instant: the send happens at ``max(arrival, credit)``.  *now* is
+        informational (the caller's clock) — arrivals are an open-loop
+        offered-load process and do not shift with actual send times.
+        """
+        arrivals = self._arrivals()
+        if self._cursor >= len(arrivals):
+            return None
+        arrival = arrivals[self._cursor]
+        self._cursor += 1
+        return arrival if arrival >= credit else credit
+
+    def peek_arrival(self) -> Optional[float]:
+        """The next arrival instant without consuming it (``None`` at end)."""
+        arrivals = self._arrivals()
+        if self._cursor >= len(arrivals):
+            return None
+        return arrivals[self._cursor]
+
+    def restart(self) -> None:
+        """Rewind to the first arrival (the arrival sequence is stable)."""
+        self._cursor = 0
+
+    def remaining(self) -> int:
+        """How many arrivals have not been consumed yet."""
+        return len(self._arrivals()) - self._cursor
+
+    def arrival_count(self) -> int:
+        """Total number of arrivals in the stream."""
+        return len(self._arrivals())
+
+    # ------------------------------------------------------------------
+    # Open-loop compatibility surface
+    # ------------------------------------------------------------------
     def send_times(self) -> List[float]:
-        """Absolute send instants, sorted ascending."""
+        """Deprecated: the full open-loop arrival list.
+
+        .. deprecated::
+            Drive the pull API (:meth:`next_send`) instead.  The list is
+            derived from the same memoized arrival sequence the pull API
+            consumes (random streams no longer redraw per call).
+        """
+        warnings.warn(
+            "TrafficGenerator.send_times() is deprecated; drive the "
+            "pull API next_send(now, credit) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return list(self._arrivals())
 
     def schedule(self, simulation) -> int:
-        """Install the sends on *simulation*; returns the message count."""
-        times = self.send_times()
+        """Install all sends open-loop on *simulation*; returns the count.
+
+        This is the congestion-off fast path: one simulator event per
+        arrival, inserted in arrival order (byte-identical to the
+        historical precomputed-list behavior).
+        """
+        times = self._arrivals()
         for t in times:
             simulation.sim.at(t, simulation.sender.multicast)
         return len(times)
 
     def end_time(self) -> float:
         """When the stream is over (used to place tail work such as the
-        FEC parity flush).  Default: the last send instant."""
-        times = self.send_times()
+        FEC parity flush).  Default: the last arrival instant."""
+        times = self._arrivals()
         return times[-1] if times else 0.0
+
+    # ------------------------------------------------------------------
+    def _arrivals(self) -> List[float]:
+        if self._arrival_cache is None:
+            self._arrival_cache = self._arrival_times()
+        return self._arrival_cache
 
 
 class UniformStream(TrafficGenerator):
@@ -44,11 +148,12 @@ class UniformStream(TrafficGenerator):
             raise ValueError(f"count must be >= 0, got {count}")
         if interval <= 0:
             raise ValueError(f"interval must be > 0, got {interval!r}")
+        super().__init__()
         self.count = count
         self.interval = interval
         self.start = start
 
-    def send_times(self) -> List[float]:
+    def _arrival_times(self) -> List[float]:
         return [self.start + i * self.interval for i in range(self.count)]
 
     def end_time(self) -> float:
@@ -64,12 +169,13 @@ class PoissonStream(TrafficGenerator):
             raise ValueError(f"rate must be > 0, got {rate!r}")
         if duration <= 0:
             raise ValueError(f"duration must be > 0, got {duration!r}")
+        super().__init__()
         self.rate = rate
         self.duration = duration
         self.start = start
         self._rng = rng
 
-    def send_times(self) -> List[float]:
+    def _arrival_times(self) -> List[float]:
         times: List[float] = []
         t = self.start
         while True:
@@ -108,6 +214,7 @@ class RampStream(TrafficGenerator):
             raise ValueError(
                 f"intervals must be > 0, got {initial_interval!r}, {final_interval!r}"
             )
+        super().__init__()
         self.count = count
         self.initial_interval = initial_interval
         self.final_interval = final_interval
@@ -125,7 +232,7 @@ class RampStream(TrafficGenerator):
             for index in range(gaps)
         ]
 
-    def send_times(self) -> List[float]:
+    def _arrival_times(self) -> List[float]:
         if self.count == 0:
             return []
         times: List[float] = []
@@ -136,7 +243,7 @@ class RampStream(TrafficGenerator):
         return times
 
     def end_time(self) -> float:
-        times = self.send_times()
+        times = self._arrivals()
         return (times[-1] + self.final_interval) if times else self.start
 
 
@@ -148,9 +255,10 @@ class BurstStream(TrafficGenerator):
     """
 
     def __init__(self, bursts: List) -> None:
+        super().__init__()
         self.bursts = list(bursts)
 
-    def send_times(self) -> List[float]:
+    def _arrival_times(self) -> List[float]:
         times: List[float] = []
         for t, size in self.bursts:
             times.extend([t] * size)

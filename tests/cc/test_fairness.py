@@ -1,0 +1,48 @@
+"""Jain-index and shared-bottleneck duel tests."""
+
+import pytest
+
+from repro.cc.fairness import jain_index, run_fairness_duel
+
+
+class TestJainIndex:
+    def test_equal_split_is_one(self):
+        assert jain_index([50.0, 50.0]) == pytest.approx(1.0)
+        assert jain_index([10.0] * 8) == pytest.approx(1.0)
+
+    def test_single_hog_is_one_over_n(self):
+        assert jain_index([100.0, 0.0]) == pytest.approx(0.5)
+        assert jain_index([100.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_degenerate_inputs(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_scale_invariant(self):
+        assert jain_index([3.0, 1.0]) == pytest.approx(jain_index([30.0, 10.0]))
+
+
+class TestFairnessDuel:
+    @pytest.mark.parametrize("controller", ["tfmcc", "aimd"])
+    def test_converges_to_fair_split(self, controller):
+        result = run_fairness_duel(controller, capacity=200.0)
+        # One flow starts at the ceiling, the other at the floor; by the
+        # second half of the run they must share near-equally.
+        assert result.jain > 0.95
+        assert 0.0 < result.utilization <= 1.2
+        assert result.samples > 0
+        assert len(result.rates) == 2
+
+    def test_deterministic(self):
+        first = run_fairness_duel("tfmcc", capacity=200.0)
+        second = run_fairness_duel("tfmcc", capacity=200.0)
+        assert first.rates == second.rates
+        assert first.jain == second.jain
+
+    def test_to_dict_round_trips_the_fields(self):
+        result = run_fairness_duel("aimd", capacity=100.0)
+        payload = result.to_dict()
+        assert payload["controller"] == "aimd"
+        assert payload["capacity"] == 100.0
+        assert payload["jain"] == result.jain
+        assert payload["rates"] == list(result.rates)

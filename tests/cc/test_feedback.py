@@ -1,0 +1,117 @@
+"""Feedback reporter tests: backlog estimate and the periodic unicast."""
+
+import pytest
+
+from repro.cc.feedback import (
+    build_feedback,
+    install_feedback_reporters,
+)
+from repro.scenario.builder import scenario
+
+
+class StubGap:
+    def __init__(self, highest, received):
+        self.highest = highest
+        self.received_count = received
+
+
+class StubMember:
+    def __init__(self, node_id, highest, received, rtt=12.5):
+        self.node_id = node_id
+        self.gap = StubGap(highest, received)
+        self._rtt = rtt
+
+    def rtt_to(self, node):
+        return self._rtt
+
+
+class TestBuildFeedback:
+    def test_no_stream_yet_reports_zero_loss(self):
+        report = build_feedback(StubMember(3, highest=0, received=0), 0)
+        assert report.loss_estimate == 0.0
+        assert report.receiver == 3
+
+    def test_backlog_is_the_missing_fraction(self):
+        report = build_feedback(StubMember(3, highest=100, received=80), 0)
+        assert report.loss_estimate == pytest.approx(0.2)
+        assert report.max_seq == 100
+        assert report.received == 80
+
+    def test_caught_up_receiver_reports_zero(self):
+        report = build_feedback(StubMember(3, highest=50, received=50), 0)
+        assert report.loss_estimate == 0.0
+
+    def test_rtt_rides_along(self):
+        report = build_feedback(StubMember(3, 10, 10, rtt=34.0), 0)
+        assert report.rtt_ms == pytest.approx(34.0)
+
+
+class TestReportersEndToEnd:
+    def _built(self, controller="tfmcc"):
+        return (
+            scenario("cc-feedback-test", seed=3)
+            .single_region(8)
+            .uniform(20, interval=10.0, start=1.0)
+            .loss(p=0.2)
+            .congestion(controller, target_loss=0.02, min_rate=5.0,
+                        max_rate=150.0, feedback_interval=50.0)
+            .protocol(max_recovery_time=1_000.0)
+            .measure(horizon=2_000.0)
+            .build()
+        )
+
+    def test_reporters_installed_on_every_receiver(self):
+        built = self._built()
+        # Sender excluded: one reporter per other member.
+        assert len(built.cc_reporters) == len(built.simulation.members) - 1
+        assert all(reporter.running for reporter in built.cc_reporters)
+
+    def test_run_produces_feedback_and_paced_sends(self):
+        built = self._built()
+        built.run()
+        kinds = {record.kind for record in built.simulation.trace.records}
+        assert "cc_send" in kinds
+        assert "cc_feedback" in kinds
+        assert built.cc_driver is not None
+        assert built.cc_driver.sent == 20
+        summary = built.summary()
+        assert summary["cc_controller"] == "tfmcc"
+        assert summary["offered_messages"] == 20
+        # The final interval must respect the configured rate bounds.
+        assert 1000.0 / 150.0 <= summary["cc_final_interval_ms"] <= 1000.0 / 5.0
+
+    def test_reporters_stopped_after_run(self):
+        built = self._built()
+        built.run()
+        assert all(not reporter.running for reporter in built.cc_reporters)
+
+    def test_install_skips_the_sender(self):
+        built = self._built()
+        sender_node = built.simulation.sender.node_id
+        members = built.simulation.members.values()
+        reporters = install_feedback_reporters(members, sender_node, 50.0)
+        try:
+            assert all(r.member.node_id != sender_node for r in reporters)
+        finally:
+            for reporter in reporters:
+                reporter.stop()
+
+
+class TestOpenLoopStaysDark:
+    def test_cc_off_arms_nothing(self):
+        built = (
+            scenario("cc-off-test", seed=3)
+            .single_region(8)
+            .uniform(5, interval=10.0, start=1.0)
+            .measure(horizon=500.0)
+            .build()
+        )
+        assert built.cc_driver is None
+        assert built.cc_reporters == []
+        built.run()
+        kinds = {record.kind for record in built.simulation.trace.records}
+        assert "cc_send" not in kinds
+        assert "cc_feedback" not in kinds
+        summary = built.summary()
+        assert "cc_controller" not in summary
+        assert "offered_messages" not in summary

@@ -31,6 +31,7 @@ from repro.protocol.messages import (
     REPAIR_REMOTE,
     WIRE_MESSAGE_TYPES,
     DataMessage,
+    FeedbackReport,
     HandoffMessage,
     HaveReply,
     LocalRequest,
@@ -89,6 +90,15 @@ MESSAGE_STRATEGIES = {
         HandoffMessage,
         data=st.one_of(data_messages, parity_messages),
         from_member=node_ids,
+    ),
+    FeedbackReport: st.builds(
+        FeedbackReport,
+        receiver=node_ids,
+        loss_estimate=st.floats(min_value=0.0, max_value=1.0,
+                                allow_nan=False),
+        rtt_ms=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        max_seq=seqs,
+        received=st.integers(min_value=0, max_value=2**31),
     ),
 }
 

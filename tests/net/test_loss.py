@@ -6,6 +6,7 @@ import pytest
 
 from repro.net.loss import (
     BernoulliLoss,
+    BottleneckLoss,
     GilbertElliottLoss,
     NoLoss,
     ReceiverSetLoss,
@@ -142,3 +143,79 @@ class TestGilbertElliott:
         # state dict tracks them separately.
         model.is_lost(0, 2, "data", rng)
         assert ((0, 1) in model._bad_state) and ((0, 2) in model._bad_state)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+
+class TestBottleneckLoss:
+    def test_requires_clock_binding(self, rng):
+        model = BottleneckLoss(capacity=100.0)
+        with pytest.raises(RuntimeError, match="bind_clock"):
+            model.is_lost(0, 1, "data", rng)
+
+    def test_control_traffic_is_reliable(self, rng):
+        model = BottleneckLoss(capacity=1.0)  # hopelessly overloaded
+        assert not model.is_lost(0, 1, "control", rng)
+
+    def test_under_capacity_never_drops(self, rng):
+        clock = FakeClock()
+        model = BottleneckLoss(capacity=100.0, window_ms=1_000.0)
+        model.bind_clock(clock)
+        # 50 attempts over a second: rate 50/s, half the capacity.
+        drops = 0
+        for index in range(50):
+            clock.now = index * 20.0
+            drops += model.is_lost(0, 1, "data", rng)
+        assert drops == 0
+        assert model.excess_ratio() == 0.0
+
+    def test_overload_drops_the_excess_ratio(self, rng):
+        clock = FakeClock()
+        model = BottleneckLoss(capacity=100.0, window_ms=1_000.0)
+        model.bind_clock(clock)
+        # 400 attempts in one window: the rate ramps to 400/s, 4x
+        # capacity, where the drop probability is 1 - 1/4 = 0.75.
+        drops = 0
+        for index in range(400):
+            clock.now = index * 2.5
+            drops += model.is_lost(0, 1, "data", rng)
+        assert model.excess_ratio() == pytest.approx(0.75)
+        # Averaged over the ramp the drop rate sits between the clean
+        # start and the saturated end.
+        assert 0.2 < drops / 400 < 0.75
+
+    def test_window_slides_and_load_decays(self, rng):
+        clock = FakeClock()
+        model = BottleneckLoss(capacity=10.0, window_ms=100.0)
+        model.bind_clock(clock)
+        for index in range(50):
+            clock.now = index * 1.0
+            model.is_lost(0, 1, "data", rng)
+        assert model.excess_ratio() > 0.0
+        # A quiet period longer than the window forgets the burst.
+        clock.now = 500.0
+        model.is_lost(0, 1, "data", rng)
+        assert model.current_rate() <= 10.0 * 2  # just this attempt
+        assert model.excess_ratio() == 0.0
+
+    def test_base_loss_floor_applies_below_capacity(self):
+        clock = FakeClock()
+        model = BottleneckLoss(capacity=10_000.0, window_ms=1_000.0,
+                               base_loss=0.3)
+        model.bind_clock(clock)
+        stream = random.Random(9)
+        drops = sum(
+            model.is_lost(0, 1, "data", stream) for _ in range(2_000)
+        )
+        assert 0.25 < drops / 2_000 < 0.35
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BottleneckLoss(capacity=0.0)
+        with pytest.raises(ValueError):
+            BottleneckLoss(capacity=10.0, window_ms=0.0)
+        with pytest.raises(ValueError):
+            BottleneckLoss(capacity=10.0, base_loss=1.5)

@@ -120,3 +120,87 @@ class TestScenariosCli:
         assert "scale" in captured.err  # catalogue included as a hint
         assert main(["scenarios", "describe", "not-a-scenario"]) == 2
         capsys.readouterr()
+
+
+class TestSpecOverrides:
+    """Dotted ``--param`` overrides on ``scenarios run``."""
+
+    def test_apply_overrides_walks_dotted_paths(self):
+        from repro.scenario.cli import _apply_spec_overrides
+
+        spec = get_scenario("search")
+        updated = _apply_spec_overrides(spec, [
+            ("congestion.controller", "aimd"),
+            ("congestion.max_rate", 200.0),
+            ("seed", 9),
+        ])
+        assert updated.congestion.controller == "aimd"
+        assert updated.congestion.max_rate == 200.0
+        assert updated.seed == 9
+        # The original frozen spec is untouched.
+        assert spec.congestion.controller == "none"
+
+    def test_unknown_field_raises(self):
+        from repro.scenario.cli import _apply_spec_overrides
+
+        with pytest.raises(ValueError, match="no field"):
+            _apply_spec_overrides(get_scenario("search"), [("bogus.x", 1)])
+        with pytest.raises(ValueError, match="no field"):
+            _apply_spec_overrides(get_scenario("search"),
+                                  [("congestion.bogus", 1)])
+
+    def test_validation_refires_on_override(self):
+        from repro.scenario.cli import _apply_spec_overrides
+
+        with pytest.raises(ValueError):
+            _apply_spec_overrides(get_scenario("search"),
+                                  [("loss.p", 2.0)])
+
+    def test_cli_run_with_congestion_param(self, capsys):
+        # A stream scenario: probe workloads have no sender stream for
+        # the congestion driver to pace.
+        assert main([
+            "scenarios", "run", "overload_onset",
+            "--param", "congestion.controller=aimd",
+            "--param", "congestion.max_rate=200",
+            "--param", "congestion.min_rate=5",
+            "--json",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["cc_controller"] == "aimd"
+        assert summary["offered_messages"] == 40
+
+    def test_cli_bad_param_is_a_usage_error(self, capsys):
+        assert main([
+            "scenarios", "run", "search", "--param", "nope.x=1",
+        ]) == 2
+        assert "no field" in capsys.readouterr().err
+
+    def test_cli_invalid_value_is_a_usage_error(self, capsys):
+        assert main([
+            "scenarios", "run", "search", "--param", "loss.p=2.0",
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCongestionScenario:
+    def test_overload_onset_cc_registered_with_controller(self):
+        spec = get_scenario("overload_onset_cc")
+        assert spec.congestion.enabled
+        assert spec.congestion.controller == "tfmcc"
+
+    def test_cc_spec_round_trips_with_congestion_node(self):
+        spec = get_scenario("overload_onset_cc")
+        payload = spec.to_dict()
+        assert payload["congestion"]["controller"] == "tfmcc"
+        assert ScenarioSpec.from_dict(payload) == spec
+
+    def test_cc_off_specs_serialize_without_congestion_node(self):
+        spec = get_scenario("overload_onset")
+        assert "congestion" not in spec.to_dict()
+
+    def test_bottleneck_fields_omitted_at_defaults(self):
+        spec = get_scenario("overload_onset")
+        loss = spec.to_dict()["loss"]
+        assert "capacity" not in loss
+        assert "window" not in loss

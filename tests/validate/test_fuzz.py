@@ -55,6 +55,24 @@ class TestSampling:
             spec = sample_spec(4, index)
             assert _traffic_end(spec.traffic) >= 0.0
 
+    def test_congestion_sampled_in_both_modes(self):
+        """The fuzzer must exercise open-loop AND controlled senders."""
+        modes = {sample_spec(5, index).congestion.enabled
+                 for index in range(40)}
+        assert modes == {True, False}
+
+    def test_cc_samples_have_valid_rate_windows(self):
+        for index in range(50):
+            spec = sample_spec(6, index)
+            cc = spec.congestion
+            if cc.enabled:
+                assert 0.0 < cc.min_rate <= cc.max_rate
+                assert cc.feedback_interval > 0.0
+                # Throttled senders get extra drain headroom.
+                assert spec.measurement.duration >= (
+                    _traffic_end(spec.traffic) + 1000.0 / cc.min_rate
+                )
+
 
 class TestRunSpec:
     def test_clean_trial(self):
@@ -63,6 +81,13 @@ class TestRunSpec:
         assert outcome.failure_key == ""
         assert outcome.records_checked > 0
         assert outcome.events_fired > 0
+
+    def test_cc_enabled_sample_runs_clean(self):
+        index = next(i for i in range(60)
+                     if sample_spec(7, i).congestion.enabled)
+        outcome = run_spec(sample_spec(7, index))
+        assert not outcome.failed
+        assert outcome.records_checked > 0
 
     def test_crash_is_captured_not_raised(self):
         # An unsatisfiable build (detect_all holders > group size)
@@ -135,6 +160,31 @@ class TestMinimization:
         # caller never has to re-run the minimized spec.
         assert outcome is not None and outcome.failed
         assert outcome.spec == minimized
+
+    def test_minimizer_can_drop_congestion(self, monkeypatch):
+        """A failure independent of the controller sheds the CC node."""
+        from repro.scenario.spec import CongestionSpec
+
+        spec = sample_spec(0, 0).with_(
+            churn=ChurnSpec(kind="random", leave_rate=0.01),
+            congestion=CongestionSpec(controller="aimd", min_rate=5.0,
+                                      max_rate=100.0),
+        )
+
+        def fake_run(candidate):
+            outcome = TrialOutcome(spec=candidate)
+            if candidate.churn.kind == "random":
+                outcome.violation_count = 1
+                outcome.violations = [
+                    {"invariant": "recovery-liveness", "time": 0.0, "message": "x"}
+                ]
+            return outcome
+
+        monkeypatch.setattr(fuzz_module, "run_spec", fake_run)
+        minimized, _outcome, _runs = minimize_spec(
+            spec, "invariant:recovery-liveness")
+        assert not minimized.congestion.enabled
+        assert minimized.churn.kind == "random"
 
     def test_minimizer_keeps_spec_when_nothing_reproduces(self, monkeypatch):
         spec = sample_spec(0, 0).with_(loss=LossSpec(kind="bernoulli", p=0.2))

@@ -126,3 +126,75 @@ class TestBurstStream:
         simulation.run(duration=2_000.0)
         for seq in (1, 2, 3):
             assert simulation.all_received(seq)
+
+
+class TestPullApi:
+    """The clock-driven next_send(now, credit) surface (see repro.cc)."""
+
+    def test_next_send_returns_arrivals_in_order(self):
+        stream = UniformStream(count=3, interval=10.0, start=5.0)
+        assert stream.next_send(0.0) == 5.0
+        assert stream.next_send(5.0) == 15.0
+        assert stream.next_send(15.0) == 25.0
+        assert stream.next_send(25.0) is None
+
+    def test_credit_defers_a_ready_arrival(self):
+        stream = UniformStream(count=2, interval=10.0, start=0.0)
+        assert stream.next_send(0.0, credit=40.0) == 40.0
+        assert stream.next_send(40.0, credit=41.0) == 41.0
+
+    def test_credit_below_arrival_is_ignored(self):
+        stream = UniformStream(count=1, interval=10.0, start=50.0)
+        assert stream.next_send(0.0, credit=10.0) == 50.0
+
+    def test_peek_does_not_consume(self):
+        stream = UniformStream(count=2, interval=10.0, start=5.0)
+        assert stream.peek_arrival() == 5.0
+        assert stream.peek_arrival() == 5.0
+        assert stream.next_send(0.0) == 5.0
+        assert stream.peek_arrival() == 15.0
+
+    def test_remaining_and_arrival_count(self):
+        stream = UniformStream(count=3, interval=10.0)
+        assert stream.arrival_count() == 3
+        assert stream.remaining() == 3
+        stream.next_send(0.0)
+        assert stream.remaining() == 2
+        assert stream.arrival_count() == 3
+
+    def test_restart_rewinds_to_first_arrival(self):
+        stream = UniformStream(count=2, interval=10.0, start=5.0)
+        stream.next_send(0.0)
+        stream.next_send(0.0)
+        assert stream.next_send(0.0) is None
+        stream.restart()
+        assert stream.next_send(0.0) == 5.0
+
+    def test_random_arrivals_are_memoized_across_surfaces(self):
+        """Pull API, restart and the shim must all see ONE drawn sequence."""
+        stream = PoissonStream(rate=0.05, duration=1_000.0, rng=random.Random(7))
+        pulled = []
+        while (t := stream.next_send(0.0)) is not None:
+            pulled.append(t)
+        stream.restart()
+        with pytest.warns(DeprecationWarning):
+            assert stream.send_times() == pulled
+
+    def test_empty_stream(self):
+        stream = UniformStream(count=0, interval=10.0)
+        assert stream.next_send(0.0) is None
+        assert stream.peek_arrival() is None
+        assert stream.remaining() == 0
+
+
+class TestSendTimesShim:
+    def test_send_times_warns_deprecation(self):
+        with pytest.warns(DeprecationWarning, match="next_send"):
+            UniformStream(count=1, interval=10.0).send_times()
+
+    def test_schedule_does_not_warn(self, recwarn):
+        simulation = RrmpSimulation(
+            single_region(3), config=RrmpConfig(session_interval=None), seed=0,
+        )
+        UniformStream(count=2, interval=10.0).schedule(simulation)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
