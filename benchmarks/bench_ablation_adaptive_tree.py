@@ -1,0 +1,66 @@
+"""Ablation bench: static vs adaptive repair hierarchy (makespan).
+
+The headline acceptance for the adaptive-tree subsystem: under
+``heterogeneous_regions`` the adaptive hierarchy's session makespan
+measurably beats the static one, re-parent events stay under the
+configured budget, and the ``adaptive-topology`` invariant reports
+zero violations.  ``wan_burst_loss`` doubles as a no-regression guard:
+its two-region chain offers no alternative parent, so adaptive must
+match static exactly there.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_adaptive_tree import run_adaptive_tree_ablation
+from repro.scenario.registry import get_scenario
+from repro.scenario.spec import AdaptSpec
+from repro.validate.fuzz import run_spec
+
+SEEDS = 5
+MAX_REPARENTS = 8
+
+
+def _ablation_with_oracle(**kwargs):
+    table = run_adaptive_tree_ablation(**kwargs)
+    # The oracle leg: an adaptive heterogeneous_regions run must stay
+    # violation-free under the full invariant set, adaptive-topology
+    # included.  Recorded in the notes so BENCH_adapt.json carries it.
+    spec = replace(
+        get_scenario("heterogeneous_regions"),
+        adapt=AdaptSpec(mode="passive", update_interval=150.0,
+                        hysteresis=0.1, max_reparents=MAX_REPARENTS),
+    )
+    outcome = run_spec(spec)
+    assert outcome.error is None, outcome.error
+    table.notes.append(
+        f"oracle: adaptive heterogeneous_regions ran clean under all "
+        f"invariants (adaptive-topology included): "
+        f"{outcome.violation_count} violations over "
+        f"{outcome.records_checked} records"
+    )
+    assert outcome.violation_count == 0, outcome.violations
+    return table
+
+
+def test_ablation_adaptive_tree(benchmark, show):
+    table = run_once(
+        benchmark, _ablation_with_oracle, bench_id="adapt",
+        seeds=SEEDS, max_reparents=MAX_REPARENTS,
+    )
+    show(table)
+    het, wan = 0, 1  # scenario indices in the default ordering
+    static_makespan = table.series["static: session makespan (ms)"]
+    adaptive_makespan = table.series["adaptive: session makespan (ms)"]
+    reparents = table.series["adaptive: re-parents"]
+    violations = table.series["adaptive: invariant violations"]
+    # The acceptance criterion: re-parenting slow regions measurably
+    # shortens the session makespan under heterogeneous regions.
+    assert adaptive_makespan[het] < static_makespan[het]
+    # No alternative parent exists on the two-region chain, so the
+    # optimizer must keep its hands off and match static exactly.
+    assert adaptive_makespan[wan] == static_makespan[wan]
+    assert reparents[wan] == 0
+    # Maintenance stays bounded and every re-parent was audited clean.
+    assert all(count <= MAX_REPARENTS for count in reparents)
+    assert all(count == 0 for count in violations)

@@ -1,0 +1,187 @@
+"""Passive per region-pair link-quality estimation.
+
+The optimizer needs to know, for any pair of regions, roughly how lossy
+and how slow the path between them is.  Rather than introducing probe
+messages, :class:`LinkStateEstimator` subscribes to trace records the
+protocol already emits and interprets them as link samples:
+
+* ``remote_request_received`` — a request crossed the requester→server
+  region edge, so that pair saw a *successful* transmission;
+* ``recovery_completed`` (with remote rounds) — the recovery latency,
+  spread over the remote rounds taken, is an RTT sample for the
+  member's parent edge; extra rounds beyond the first count as loss
+  samples (each timed-out round is a request or repair that did not
+  make it);
+* ``reliability_violation`` — the parent edge failed a whole recovery,
+  the strongest loss signal available;
+* ``cc_feedback`` — the congestion-control path already carries a
+  receiver's smoothed loss estimate and RTT to the sender, which is a
+  direct sample for the receiver-region ↔ root-region pair.
+
+Quality is summarized ETX-style: ``etx = 1 / (1 - loss)²`` (expected
+transmissions for a request/repair exchange), and the routing cost of
+an edge is ``etx · rtt`` — the expected time to complete one recovery
+exchange across it.  Pairs never sampled fall back to a configurable
+RTT prior so the optimizer can still reason about edges no repair has
+crossed yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.net.topology import Hierarchy, RegionId
+from repro.sim.tracing import TraceLog, TraceRecord
+
+#: Loss estimates are clamped below 1.0 so ETX stays finite.
+_MAX_LOSS = 0.99
+
+#: Cap on ETX so one dead edge cannot dominate every path sum.
+_MAX_ETX = 100.0
+
+PairKey = Tuple[RegionId, RegionId]
+
+
+def pair_key(a: RegionId, b: RegionId) -> PairKey:
+    """Canonical undirected key for a region pair."""
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class PairState:
+    """EWMA link state for one (undirected) region pair."""
+
+    loss: float = 0.0
+    rtt_ms: Optional[float] = None
+    samples: int = 0
+
+    def observe_loss(self, sample: float, alpha: float) -> None:
+        """Fold in a loss sample (0.0 = success, 1.0 = failure)."""
+        if self.samples == 0:
+            self.loss = sample
+        else:
+            self.loss = alpha * sample + (1.0 - alpha) * self.loss
+        self.samples += 1
+
+    def observe_rtt(self, rtt_ms: float, alpha: float) -> None:
+        """Fold in an RTT sample (ms)."""
+        if self.rtt_ms is None:
+            self.rtt_ms = rtt_ms
+        else:
+            self.rtt_ms = alpha * rtt_ms + (1.0 - alpha) * self.rtt_ms
+
+    def etx(self) -> float:
+        """Expected transmissions for a request/repair exchange."""
+        loss = min(self.loss, _MAX_LOSS)
+        return min(_MAX_ETX, 1.0 / ((1.0 - loss) ** 2))
+
+
+@dataclass
+class LinkStateEstimator:
+    """Passive region-pair link-state table fed by a :class:`TraceLog`.
+
+    ``default_rtt_ms`` is the prior for unsampled pairs — scenarios set
+    it to one inter-region RTT so untested edges look like typical WAN
+    hops rather than free ones.
+    """
+
+    hierarchy: Hierarchy
+    ewma_alpha: float = 0.2
+    default_rtt_ms: float = 80.0
+    pairs: Dict[PairKey, PairState] = field(default_factory=dict)
+
+    def attach(self, trace: TraceLog) -> "LinkStateEstimator":
+        """Subscribe to the trace kinds that carry link samples."""
+        trace.subscribe(self._on_remote_request, kind="remote_request_received")
+        trace.subscribe(self._on_recovery_completed, kind="recovery_completed")
+        trace.subscribe(self._on_violation, kind="reliability_violation")
+        trace.subscribe(self._on_cc_feedback, kind="cc_feedback")
+        return self
+
+    # ------------------------------------------------------------------
+    # Queries (what the optimizer consumes)
+    # ------------------------------------------------------------------
+    def state(self, a: RegionId, b: RegionId) -> PairState:
+        """The (possibly empty) state for a region pair."""
+        return self.pairs.setdefault(pair_key(a, b), PairState())
+
+    def etx(self, a: RegionId, b: RegionId) -> float:
+        """ETX estimate for the pair (1.0 when never sampled)."""
+        existing = self.pairs.get(pair_key(a, b))
+        return existing.etx() if existing is not None else 1.0
+
+    def rtt_ms(self, a: RegionId, b: RegionId) -> float:
+        """RTT estimate for the pair, falling back to the prior."""
+        existing = self.pairs.get(pair_key(a, b))
+        if existing is not None and existing.rtt_ms is not None:
+            return existing.rtt_ms
+        return self.default_rtt_ms
+
+    def edge_cost(self, a: RegionId, b: RegionId) -> float:
+        """Predicted cost of one recovery exchange across the edge.
+
+        ``etx · rtt``: the expected number of transmissions times the
+        time each attempt takes.  This is the per-hop term the
+        optimizer sums along repair paths to predict makespan.
+        """
+        return self.etx(a, b) * self.rtt_ms(a, b)
+
+    # ------------------------------------------------------------------
+    # Trace subscribers
+    # ------------------------------------------------------------------
+    def _region_of(self, node: int) -> Optional[RegionId]:
+        if not self.hierarchy.contains(node):
+            return None  # departed under churn between emit and here
+        return self.hierarchy.region_id_of(node)
+
+    def _parent_of(self, region_id: RegionId) -> Optional[RegionId]:
+        region = self.hierarchy.regions.get(region_id)
+        return region.parent_id if region is not None else None
+
+    def _on_remote_request(self, record: TraceRecord) -> None:
+        server = self._region_of(record["node"])
+        requester = self._region_of(record["requester"])
+        if server is None or requester is None or server == requester:
+            return
+        self.state(server, requester).observe_loss(0.0, self.ewma_alpha)
+
+    def _on_recovery_completed(self, record: TraceRecord) -> None:
+        remote_rounds = record.get("remote_rounds", 0)
+        if not remote_rounds:
+            return
+        region = self._region_of(record["node"])
+        if region is None:
+            return
+        parent = self._parent_of(region)
+        if parent is None:
+            return
+        state = self.state(region, parent)
+        state.observe_rtt(record["latency"] / remote_rounds, self.ewma_alpha)
+        # Rounds beyond the first are timed-out attempts: loss samples.
+        state.observe_loss(0.0, self.ewma_alpha)
+        for _ in range(min(remote_rounds - 1, 8)):
+            state.observe_loss(1.0, self.ewma_alpha)
+
+    def _on_violation(self, record: TraceRecord) -> None:
+        region = self._region_of(record["node"])
+        if region is None:
+            return
+        parent = self._parent_of(region)
+        if parent is None:
+            return
+        self.state(region, parent).observe_loss(1.0, self.ewma_alpha)
+
+    def _on_cc_feedback(self, record: TraceRecord) -> None:
+        region = self._region_of(record["receiver"])
+        if region is None:
+            return
+        # Feedback flows receiver → sender; the sender sits in a root
+        # region (no parent).  Attribute the sample to the receiver's
+        # edge toward that root along its ancestry.
+        parent = self._parent_of(region)
+        if parent is None:
+            return
+        state = self.state(region, parent)
+        state.observe_loss(min(1.0, max(0.0, record["loss"])), self.ewma_alpha)
+        state.observe_rtt(record["rtt"], self.ewma_alpha)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List
 
+from repro.experiments.ablation_adaptive_tree import run_adaptive_tree_ablation
 from repro.experiments.ablation_c import run_c_tradeoff
 from repro.experiments.ablation_churn import run_churn_handoff
 from repro.experiments.ablation_congestion import run_congestion_ablation
@@ -69,6 +70,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("ablation_congestion",
                    "adaptive-rate senders vs open loop on a bottleneck link",
                    run_congestion_ablation),
+        Experiment("ablation_adaptive_tree",
+                   "static vs adaptive repair hierarchy (makespan objective)",
+                   run_adaptive_tree_ablation),
     ]
 }
 

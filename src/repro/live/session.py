@@ -41,6 +41,7 @@ from repro.cc import (
 from repro.live.clock import LiveClock
 from repro.live.transport import Address, LiveTransport
 from repro.membership.churn import ChurnSchedule, random_churn
+from repro.metrics.makespan import MakespanTracker
 from repro.metrics.snapshot import DeliveryCounter, MetricsSnapshot, take_snapshot
 from repro.net.ipmulticast import RegionCorrelatedOutcome
 from repro.net.latency import HierarchicalLatency
@@ -113,6 +114,10 @@ class LiveSession(MemberGroup):
         self.streams = RandomStreams(spec.seed)
         self.trace = TraceLog(keep_records=spec.measurement.keep_trace)
         self.deliveries = DeliveryCounter(self.trace)
+        # Same delivery-span metric the sim path surfaces; the trace
+        # already has a subscriber (DeliveryCounter), so attaching one
+        # more never changes the hot-path enabled state.
+        self.makespan = MakespanTracker().attach(self.trace)
         # Held until start() finishes: building members and injecting
         # the workload takes real milliseconds, and a running clock
         # would feed that setup time straight into the protocol's first
@@ -124,6 +129,8 @@ class LiveSession(MemberGroup):
             self.hierarchy,
             intra_one_way=spec.topology.intra_one_way,
             inter_one_way=spec.topology.inter_one_way,
+            inter_up_one_way=spec.topology.inter_up_one_way,
+            inter_down_one_way=spec.topology.inter_down_one_way,
         )
         self.network = LiveTransport(
             self.sim,
@@ -470,6 +477,8 @@ class LiveSession(MemberGroup):
             "events_fired": self.sim.events_fired,
             "time_ms": self.sim.now,
         }
+        if self.makespan.delivery_count:
+            result.update(self.makespan.summary())
         if self.cc_driver is not None:
             result["offered_messages"] = self.offered_count
             result["cc_controller"] = self.cc_driver.controller.name

@@ -6,6 +6,7 @@ experiment harness.
 """
 
 from repro.metrics.fec import FecReport, summarize_fec
+from repro.metrics.makespan import MakespanTracker
 from repro.metrics.occupancy import OccupancyProbe, occupancy_balance, occupancy_summary
 from repro.metrics.report import SeriesTable, format_cell, render_table
 from repro.metrics.runreport import RunReport
@@ -14,6 +15,7 @@ from repro.metrics.timeseries import StepSeries, TraceCounter
 
 __all__ = [
     "FecReport",
+    "MakespanTracker",
     "OccupancyProbe",
     "RunReport",
     "SeriesTable",

@@ -1,0 +1,105 @@
+"""Makespan: time until the *last* receiver completes (first-class metric).
+
+Mean recovery latency — what the paper's §4 plots report — averages over
+individual recoveries and so hides stragglers.  The makespan literature
+(see PAPERS.md, "Reducing the Makespan in Hierarchical Reliable
+Multicast Tree") instead asks when the *slowest* receiver finished,
+because that is when the session is actually done.  Two granularities:
+
+* **per-seq makespan** — for one sequence number, the interval between
+  its first and last delivery anywhere in the session (how long that
+  message took to blanket the group);
+* **session makespan** — the interval between the very first delivery
+  and the very last delivery of any message (wall time until the group
+  is fully caught up).
+
+:class:`MakespanTracker` is a pure trace subscriber over
+``member_received`` records: it schedules nothing and sends nothing, so
+attaching it never perturbs event counts or trace digests.  It works
+unchanged against RRMP runs, the static-tree baseline and adaptive runs
+because all three emit the same ``member_received`` record shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.metrics.stats import mean, percentile
+from repro.sim.tracing import TraceLog, TraceRecord
+
+
+@dataclass
+class _SeqSpan:
+    first: float
+    last: float
+
+
+@dataclass
+class MakespanTracker:
+    """Tracks per-seq and session delivery spans from a trace stream."""
+
+    spans: Dict[int, _SeqSpan] = field(default_factory=dict)
+    delivery_count: int = 0
+
+    def attach(self, trace: TraceLog) -> "MakespanTracker":
+        """Subscribe to ``member_received`` records; returns self."""
+        trace.subscribe(self._on_received, kind="member_received")
+        return self
+
+    def _on_received(self, record: TraceRecord) -> None:
+        self.delivery_count += 1
+        seq = record["seq"]
+        span = self.spans.get(seq)
+        if span is None:
+            self.spans[seq] = _SeqSpan(first=record.time, last=record.time)
+        else:
+            if record.time < span.first:
+                span.first = record.time
+            if record.time > span.last:
+                span.last = record.time
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def per_seq(self) -> Dict[int, float]:
+        """Makespan of each sequence number (last − first delivery)."""
+        return {seq: span.last - span.first for seq, span in self.spans.items()}
+
+    def seq_makespan(self, seq: int) -> Optional[float]:
+        """Makespan of one sequence number, or ``None`` if never seen."""
+        span = self.spans.get(seq)
+        return None if span is None else span.last - span.first
+
+    def session_makespan(self) -> float:
+        """First delivery of any seq → last delivery of any seq (ms)."""
+        if not self.spans:
+            return 0.0
+        first = min(span.first for span in self.spans.values())
+        last = max(span.last for span in self.spans.values())
+        return last - first
+
+    def last_delivery_time(self) -> Optional[float]:
+        """Absolute sim time of the final delivery, or ``None``."""
+        if not self.spans:
+            return None
+        return max(span.last for span in self.spans.values())
+
+    def summary(self) -> Dict[str, float]:
+        """Flat metrics block: session span plus per-seq tails."""
+        values = sorted(self.per_seq().values())
+        if not values:
+            return {
+                "makespan_session_ms": 0.0,
+                "makespan_seq_mean_ms": 0.0,
+                "makespan_seq_p50_ms": 0.0,
+                "makespan_seq_p90_ms": 0.0,
+                "makespan_seq_max_ms": 0.0,
+            }
+        return {
+            "makespan_session_ms": self.session_makespan(),
+            "makespan_seq_mean_ms": mean(values),
+            "makespan_seq_p50_ms": percentile(values, 50.0),
+            "makespan_seq_p90_ms": percentile(values, 90.0),
+            "makespan_seq_max_ms": values[-1],
+        }

@@ -51,6 +51,8 @@ class MetricsSnapshot:
     send_dropped: int                 #: sends to unregistered nodes
     goodput_msgs_per_s: float         #: deliveries/s since the previous
                                       #: snapshot (cumulative if first)
+    session_makespan_ms: float = 0.0  #: first→last delivery span so far
+                                      #: (0.0 when no tracker/deliveries)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready payload (the daemon's line format)."""
@@ -89,6 +91,8 @@ def take_snapshot(group, previous: Optional[MetricsSnapshot] = None) -> MetricsS
         delta_msgs = delivered
         delta_ms = now
     goodput = (delta_msgs / (delta_ms / 1000.0)) if delta_ms > 0 else 0.0
+    tracker = getattr(group, "makespan", None)
+    makespan_ms = tracker.session_makespan() if tracker is not None else 0.0
     return MetricsSnapshot(
         time_ms=now,
         alive_members=len(group.alive_members()),
@@ -102,4 +106,5 @@ def take_snapshot(group, previous: Optional[MetricsSnapshot] = None) -> MetricsS
         data_messages=group.data_message_count(),
         send_dropped=group.network.stats.send_dropped,
         goodput_msgs_per_s=goodput,
+        session_makespan_ms=makespan_ms,
     )

@@ -51,6 +51,14 @@ class HierarchicalLatency(LatencyModel):
     * different regions: ``inter_one_way`` per region hop, so a request
       to the parent region costs one hop and recovery across the tree
       costs proportionally more.
+
+    ``inter_up_one_way`` / ``inter_down_one_way`` optionally price the
+    two directions of an inter-region hop separately (netem-style
+    asymmetry): hops from the source's region toward the closest common
+    ancestor use the *up* delay, hops from the ancestor down to the
+    destination's region the *down* delay.  Left ``None``, both fall
+    back to the symmetric ``inter_one_way`` and the historical
+    ``inter_one_way * hops`` formula is used verbatim.
     """
 
     def __init__(
@@ -58,18 +66,44 @@ class HierarchicalLatency(LatencyModel):
         hierarchy: Hierarchy,
         intra_one_way: float = 5.0,
         inter_one_way: float = 40.0,
+        inter_up_one_way: float | None = None,
+        inter_down_one_way: float | None = None,
     ) -> None:
         if intra_one_way < 0 or inter_one_way < 0:
             raise ValueError("latencies must be >= 0")
+        for value in (inter_up_one_way, inter_down_one_way):
+            if value is not None and value < 0:
+                raise ValueError("latencies must be >= 0")
         self.hierarchy = hierarchy
         self.intra_one_way = intra_one_way
         self.inter_one_way = inter_one_way
+        self.inter_up_one_way = inter_up_one_way
+        self.inter_down_one_way = inter_down_one_way
+
+    @property
+    def asymmetric(self) -> bool:
+        """Whether directional per-hop delays are configured."""
+        return (
+            self.inter_up_one_way is not None
+            or self.inter_down_one_way is not None
+        )
 
     def one_way(self, src: NodeId, dst: NodeId) -> float:
         hops = self.hierarchy.region_distance(src, dst)
         if hops == 0:
             return self.intra_one_way
-        return self.inter_one_way * hops
+        if not self.asymmetric:
+            return self.inter_one_way * hops
+        up_delay = (
+            self.inter_up_one_way if self.inter_up_one_way is not None
+            else self.inter_one_way
+        )
+        down_delay = (
+            self.inter_down_one_way if self.inter_down_one_way is not None
+            else self.inter_one_way
+        )
+        up, down = self.hierarchy.region_hop_split(src, dst)
+        return up * up_delay + down * down_delay
 
 
 class JitteredLatency(LatencyModel):

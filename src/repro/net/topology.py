@@ -14,7 +14,7 @@ owns the regions and answers the membership queries the protocol needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 NodeId = int
 RegionId = int
@@ -175,6 +175,27 @@ class Hierarchy:
         # Disjoint trees (no common ancestor): treat as the sum of both
         # depths plus one logical hop between the roots.
         return len(ancestry_a) + len(ancestry_b) - 1
+
+    def region_hop_split(self, a: NodeId, b: NodeId) -> "Tuple[int, int]":
+        """``(up, down)`` region hops for a packet from *a* to *b*.
+
+        *up* counts hops from *a*'s region toward the closest common
+        ancestor, *down* the hops from that ancestor to *b*'s region —
+        so ``up + down == region_distance(a, b)``.  Latency models use
+        the split to price asymmetric per-hop delays.
+        """
+        ra, rb = self.region_id_of(a), self.region_id_of(b)
+        if ra == rb:
+            return (0, 0)
+        ancestry_a = self._ancestry(ra)
+        ancestry_b = self._ancestry(rb)
+        depth_a = {region: index for index, region in enumerate(ancestry_a)}
+        for hops_b, region in enumerate(ancestry_b):
+            if region in depth_a:
+                return (depth_a[region], hops_b)
+        # Disjoint trees: up to a's root plus the logical root-to-root
+        # hop, then down b's whole ancestry (matches region_distance).
+        return (len(ancestry_a), len(ancestry_b) - 1)
 
     def _ancestry(self, region_id: RegionId) -> List[RegionId]:
         chain: List[RegionId] = []

@@ -40,6 +40,7 @@ from repro.scenario.registry import (
     scenario_names,
 )
 from repro.scenario.spec import (
+    AdaptSpec,
     ChurnSpec,
     CongestionSpec,
     FecSpec,
@@ -52,6 +53,7 @@ from repro.scenario.spec import (
 )
 
 __all__ = [
+    "AdaptSpec",
     "BuiltScenario",
     "ChurnSpec",
     "CongestionSpec",

@@ -28,6 +28,7 @@ from typing import Optional, Tuple
 
 from repro.scenario.materialize import BuiltScenario
 from repro.scenario.spec import (
+    AdaptSpec,
     ChurnSpec,
     CongestionSpec,
     FecSpec,
@@ -81,13 +82,27 @@ class ScenarioBuilder:
         )
 
     def latency(self, intra: Optional[float] = None,
-                inter: Optional[float] = None) -> "ScenarioBuilder":
-        """One-way delays (ms): within a region and per region hop."""
+                inter: Optional[float] = None,
+                inter_up=_UNSET, inter_down=_UNSET) -> "ScenarioBuilder":
+        """One-way delays (ms): within a region and per region hop.
+
+        *inter_up* / *inter_down* optionally split the per-hop delay by
+        direction (toward an ancestor region vs away from it), the
+        netem-style asymmetry; pass ``None`` to reset to symmetric.
+        """
         changes = {}
         if intra is not None:
             changes["intra_one_way"] = float(intra)
         if inter is not None:
             changes["inter_one_way"] = float(inter)
+        if inter_up is not _UNSET:
+            changes["inter_up_one_way"] = (
+                None if inter_up is None else float(inter_up)
+            )
+        if inter_down is not _UNSET:
+            changes["inter_down_one_way"] = (
+                None if inter_down is None else float(inter_down)
+            )
         return self._topology(**changes)
 
     def _topology(self, **changes) -> "ScenarioBuilder":
@@ -284,6 +299,22 @@ class ScenarioBuilder:
             feedback_interval=float(feedback_interval),
             parity_min=parity_min if parity_min is None else int(parity_min),
             parity_max=parity_max if parity_max is None else int(parity_max),
+        ))
+        return self
+
+    def adaptive(self, update_interval: float = 250.0, hysteresis: float = 0.1,
+                 max_reparents: int = 8,
+                 ewma_alpha: float = 0.2) -> "ScenarioBuilder":
+        """Adaptive repair hierarchy (:mod:`repro.adapt`, passive mode):
+        a link-state estimator fed by existing recovery/feedback traffic
+        plus a periodic makespan-aware tree re-optimizer, paced every
+        *update_interval* ms, re-parenting only on a relative path-cost
+        improvement beyond *hysteresis* and at most *max_reparents*
+        times per run."""
+        self._spec = replace(self._spec, adapt=AdaptSpec(
+            mode="passive", update_interval=float(update_interval),
+            hysteresis=float(hysteresis), max_reparents=int(max_reparents),
+            ewma_alpha=float(ewma_alpha),
         ))
         return self
 

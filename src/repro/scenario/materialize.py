@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.adapt import LinkStateEstimator, TreeOptimizer
     from repro.validate.oracle import InvariantOracle
 
 from repro.core.policies import (
@@ -40,6 +41,7 @@ from repro.core.policies import (
 )
 from repro.hashing.deterministic import HashBuffererPolicy
 from repro.membership.churn import ChurnSchedule, random_churn
+from repro.metrics.makespan import MakespanTracker
 from repro.metrics.occupancy import OccupancyProbe
 from repro.metrics.stats import mean
 from repro.net.ipmulticast import (
@@ -238,6 +240,13 @@ class BuiltScenario:
     offered_count: int = 0
     total_probe: Optional[OccupancyProbe] = None
     node_probe: Optional[OccupancyProbe] = None
+    #: Delivery-span tracker (:mod:`repro.metrics.makespan`), attached
+    #: when the spec keeps a trace; pure subscriber, never scheduled.
+    makespan: Optional[MakespanTracker] = None
+    #: Adaptive-tree pieces (:mod:`repro.adapt`), present only when
+    #: ``spec.adapt`` is enabled; ``run()`` stops the optimizer.
+    linkstate: Optional["LinkStateEstimator"] = None
+    adapt: Optional["TreeOptimizer"] = None
     data: Optional[DataMessage] = None
     holders: List[NodeId] = field(default_factory=list)
     bufferers: List[NodeId] = field(default_factory=list)
@@ -270,9 +279,13 @@ class BuiltScenario:
                 self.cc_driver.stop()
             for reporter in self.cc_reporters:
                 reporter.stop()
+            if self.adapt is not None:
+                self.adapt.stop()
             if simulation.config.session_interval is not None:
                 simulation.sender.stop()
             simulation.sim.drain()
+        if self.adapt is not None:
+            self.adapt.stop()
         if self.cc_driver is not None:
             self.cc_driver.stop()
             for reporter in self.cc_reporters:
@@ -317,6 +330,11 @@ class BuiltScenario:
             result["peak_node_occupancy"] = self.peak_node_occupancy
         if self.oracle is not None:
             result["invariant_violations"] = self.oracle.violation_count
+        if self.makespan is not None and self.makespan.delivery_count:
+            result.update(self.makespan.summary())
+        if self.adapt is not None:
+            result["adapt_updates"] = self.adapt.update_count
+            result["adapt_reparents"] = self.adapt.reparent_count
         if self.cc_driver is not None:
             result["offered_messages"] = self.offered_count
             result["cc_controller"] = self.cc_driver.controller.name
@@ -397,6 +415,8 @@ def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
             hierarchy,
             intra_one_way=spec.topology.intra_one_way,
             inter_one_way=spec.topology.inter_one_way,
+            inter_up_one_way=spec.topology.inter_up_one_way,
+            inter_down_one_way=spec.topology.inter_down_one_way,
         ),
         loss=transport_loss_for(spec.loss),
         outcome=outcome_for(spec.loss),
@@ -411,6 +431,37 @@ def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
             sender=simulation.sender.node_id,
         )
     built = BuiltScenario(spec=spec, simulation=simulation)
+
+    if spec.measurement.keep_trace:
+        # Pure subscriber: schedules nothing, so event counts and trace
+        # digests are untouched.  Gated on keep_trace because the first
+        # subscription flips the trace's hot-path ``enabled`` guard,
+        # which a streaming (keep_trace=False) sweep relies on.
+        built.makespan = MakespanTracker().attach(simulation.trace)
+
+    if spec.adapt.enabled:
+        # Imported lazily for the same reason as the oracle below.
+        from repro.adapt import LinkStateEstimator, TreeOptimizer
+
+        up = spec.topology.inter_up_one_way
+        down = spec.topology.inter_down_one_way
+        inter = spec.topology.inter_one_way
+        prior_rtt = (inter if up is None else up) + (inter if down is None else down)
+        built.linkstate = LinkStateEstimator(
+            hierarchy,
+            ewma_alpha=spec.adapt.ewma_alpha,
+            default_rtt_ms=prior_rtt,
+        ).attach(simulation.trace)
+        built.adapt = TreeOptimizer(
+            simulation.sim,
+            hierarchy,
+            built.linkstate,
+            simulation.trace,
+            update_interval=spec.adapt.update_interval,
+            hysteresis=spec.adapt.hysteresis,
+            max_reparents=spec.adapt.max_reparents,
+        )
+        built.adapt.start()
 
     if spec.measurement.oracle:
         # Attach before probes/traffic so the oracle observes every

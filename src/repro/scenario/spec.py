@@ -42,6 +42,7 @@ POLICY_KINDS = (
     "two_phase", "fixed_time", "stability", "hash", "never_discard", "no_buffer",
 )
 CONGESTION_KINDS = ("none", "tfmcc", "aimd")
+ADAPT_MODES = ("off", "passive")
 
 _S = TypeVar("_S")
 
@@ -66,7 +67,10 @@ class TopologySpec:
 
     Latency rides along (one-way ms): ``intra_one_way`` within a
     region, ``inter_one_way`` per region hop — the paper's 10 ms
-    intra-region RTT is the default.
+    intra-region RTT is the default.  ``inter_up_one_way`` /
+    ``inter_down_one_way`` optionally split the inter-region delay by
+    direction (netem-style asymmetry: hops toward an ancestor region
+    vs hops away from it); ``None`` keeps the symmetric value.
     """
 
     kind: str = "single_region"
@@ -76,6 +80,8 @@ class TopologySpec:
     fanout: int = 2
     intra_one_way: float = 5.0
     inter_one_way: float = 40.0
+    inter_up_one_way: Optional[float] = None
+    inter_down_one_way: Optional[float] = None
 
     def __post_init__(self) -> None:
         _require_kind(self.kind, TOPOLOGY_KINDS, "topology")
@@ -87,6 +93,10 @@ class TopologySpec:
             raise ValueError(f"region sizes must be >= 1, got {self.sizes}")
         if self.intra_one_way < 0 or self.inter_one_way < 0:
             raise ValueError("latencies must be >= 0")
+        for name in ("inter_up_one_way", "inter_down_one_way"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be >= 0 or None, got {value!r}")
 
     def member_count(self) -> int:
         """Total receivers the topology will contain."""
@@ -335,6 +345,56 @@ class CongestionSpec:
 
 
 @dataclass(frozen=True)
+class AdaptSpec:
+    """Adaptive repair-hierarchy re-optimization (see :mod:`repro.adapt`).
+
+    ``mode`` selects the subsystem:
+
+    * ``off`` — the hierarchy stays exactly as built (the default;
+      byte-identical to historical behaviour, no optimizer scheduled);
+    * ``passive`` — a link-state estimator learns per-region-pair loss
+      and RTT purely from existing recovery/feedback traffic, and a
+      periodic optimizer re-parents regions to minimize the predicted
+      repair makespan (per-hop ETX·RTT path cost).
+
+    ``update_interval`` paces the optimizer (ms between passes);
+    ``hysteresis`` is the minimum relative path-cost improvement a
+    re-parent must promise (0.1 = 10% better); ``max_reparents`` is a
+    hard per-run budget bounding tree-maintenance churn (at most one
+    re-parent is applied per pass as well); ``ewma_alpha`` is the
+    link-state smoothing factor.
+    """
+
+    mode: str = "off"
+    update_interval: float = 250.0
+    hysteresis: float = 0.1
+    max_reparents: int = 8
+    ewma_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        _require_kind(self.mode, ADAPT_MODES, "adapt")
+        if self.update_interval <= 0:
+            raise ValueError(
+                f"adapt update_interval must be > 0 ms, got {self.update_interval!r}"
+            )
+        if self.hysteresis < 0:
+            raise ValueError(f"adapt hysteresis must be >= 0, got {self.hysteresis!r}")
+        if self.max_reparents < 0:
+            raise ValueError(
+                f"adapt max_reparents must be >= 0, got {self.max_reparents}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(
+                f"adapt ewma_alpha must be in (0, 1], got {self.ewma_alpha!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the adaptive subsystem (not ``"off"``) is requested."""
+        return self.mode != "off"
+
+
+@dataclass(frozen=True)
 class MeasurementSpec:
     """How long to run and what to record.
 
@@ -394,6 +454,7 @@ class ScenarioSpec:
     policy: PolicySpec = field(default_factory=PolicySpec)
     fec: FecSpec = field(default_factory=FecSpec)
     congestion: CongestionSpec = field(default_factory=CongestionSpec)
+    adapt: AdaptSpec = field(default_factory=AdaptSpec)
     measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
     description: str = ""
 
@@ -403,19 +464,26 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready plain-dict form.
 
-        The ``congestion`` node is omitted while it equals the default
-        (controller ``"none"``), and the bottleneck-only loss fields
-        (``capacity``, ``window``) are omitted at their defaults:
-        pre-congestion-control specs keep their serialized form — and
-        therefore their :meth:`digest` — exactly.
+        The ``congestion`` and ``adapt`` nodes are omitted while they
+        equal their defaults (controller ``"none"`` / mode ``"off"``),
+        and the bottleneck-only loss fields (``capacity``, ``window``)
+        plus the asymmetric-latency topology fields are omitted at
+        their defaults: pre-existing specs keep their serialized form —
+        and therefore their :meth:`digest` — exactly.
         """
         payload = asdict(self)
         if self.congestion == CongestionSpec():
             del payload["congestion"]
+        if self.adapt == AdaptSpec():
+            del payload["adapt"]
         defaults = LossSpec()
         for name in ("capacity", "window"):
             if payload["loss"][name] == getattr(defaults, name):
                 del payload["loss"][name]
+        topo_defaults = TopologySpec()
+        for name in ("inter_up_one_way", "inter_down_one_way"):
+            if payload["topology"][name] == getattr(topo_defaults, name):
+                del payload["topology"][name]
         return payload
 
     @classmethod
@@ -429,6 +497,7 @@ class ScenarioSpec:
             "policy": PolicySpec,
             "fec": FecSpec,
             "congestion": CongestionSpec,
+            "adapt": AdaptSpec,
             "measurement": MeasurementSpec,
         }
         kwargs: Dict[str, Any] = {}

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Set
 from repro.core.buffer import MessageBuffer
 from repro.net.ipmulticast import MulticastOutcome, PerfectOutcome
 from repro.net.latency import HierarchicalLatency, LatencyModel
+from repro.net.loss import LossModel
 from repro.net.packet import KIND_CONTROL
 from repro.net.topology import Hierarchy, NodeId, RegionId
 from repro.net.transport import Network, Packet
@@ -218,6 +219,7 @@ class TreeSimulation:
         hierarchy: Hierarchy,
         seed: int = 0,
         latency: Optional[LatencyModel] = None,
+        loss: Optional[LossModel] = None,
         outcome: Optional[MulticastOutcome] = None,
         session_interval: Optional[float] = 50.0,
         timer_factor: float = 1.0,
@@ -228,7 +230,7 @@ class TreeSimulation:
         self.sim = Simulator()
         self.trace = TraceLog()
         self.latency = latency if latency is not None else HierarchicalLatency(hierarchy)
-        self.network = Network(self.sim, self.latency, streams=self.streams)
+        self.network = Network(self.sim, self.latency, loss=loss, streams=self.streams)
         self.outcome = outcome if outcome is not None else PerfectOutcome()
         self._outcome_rng = self.streams.stream("tree", "outcome")
         self.servers: Dict[RegionId, NodeId] = {}

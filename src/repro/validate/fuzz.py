@@ -33,6 +33,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.scenario.spec import (
+    AdaptSpec,
     ChurnSpec,
     CongestionSpec,
     FecSpec,
@@ -205,6 +206,22 @@ def _sample_congestion(rng: random.Random) -> CongestionSpec:
     )
 
 
+def _sample_adapt(rng: random.Random) -> AdaptSpec:
+    # ~30% on, so the adaptive-topology invariant sees adversarial
+    # topologies regularly without dominating the trial budget.  Update
+    # intervals are bounded small relative to fuzz-sized horizons so
+    # the optimizer actually gets passes in.
+    if rng.random() < 0.7:
+        return AdaptSpec()
+    return AdaptSpec(
+        mode="passive",
+        update_interval=rng.choice((50.0, 100.0, 200.0)),
+        hysteresis=rng.choice((0.0, 0.1, 0.3)),
+        max_reparents=rng.randint(1, 6),
+        ewma_alpha=rng.choice((0.1, 0.2, 0.5)),
+    )
+
+
 def sample_spec(seed: int, index: int) -> ScenarioSpec:
     """The deterministically-sampled spec for trial *index* of *seed*."""
     rng = random.Random(seed * 1_000_003 + index)
@@ -215,6 +232,7 @@ def sample_spec(seed: int, index: int) -> ScenarioSpec:
     policy = _sample_policy(rng)
     fec = _sample_fec(rng)
     congestion = _sample_congestion(rng)
+    adapt = _sample_adapt(rng)
     session = policy.session_interval or 50.0
     duration = _traffic_end(traffic) + 3.0 * session + 100.0
     if congestion.enabled:
@@ -232,6 +250,7 @@ def sample_spec(seed: int, index: int) -> ScenarioSpec:
         policy=policy,
         fec=fec,
         congestion=congestion,
+        adapt=adapt,
         measurement=measurement,
         description=f"fuzzer sample (fuzz seed {seed}, trial {index})",
     )
@@ -296,6 +315,8 @@ def _shrink_candidates(spec: ScenarioSpec) -> List[Tuple[str, ScenarioSpec]]:
         candidates.append(
             ("drop congestion", replace(spec, congestion=CongestionSpec()))
         )
+    if spec.adapt.enabled:
+        candidates.append(("drop adapt", replace(spec, adapt=AdaptSpec())))
     if spec.fec.mode != "off":
         candidates.append(("drop fec", replace(spec, fec=FecSpec())))
     if spec.loss.kind != "none":

@@ -30,6 +30,12 @@ The six invariants (see README "Validation"):
 * **fec-accounting** — each FEC block is encoded at most once, and its
   ``fec_parity_overhead`` record agrees with the encode record
   (``parity_messages == r``; byte counts match the wire sizes).
+
+Two further invariants guard optional subsystems and stay inert when
+those are off: **congestion-quota** (paced-rate window plus aggregate
+long-term quota under congestion control) and **adaptive-topology**
+(after every ``tree_reparent`` the hierarchy is acyclic, fully
+connected, and no region is orphaned).
 """
 
 from __future__ import annotations
@@ -543,6 +549,76 @@ class CongestionQuota(Invariant):
                 )
 
 
+class AdaptiveTopology(Invariant):
+    """After every re-parent the hierarchy stays acyclic, fully
+    connected, and no region is orphaned.
+
+    The adaptive-tree optimizer (:mod:`repro.adapt`) mutates
+    ``Region.parent_id`` at run time; this invariant audits each
+    ``tree_reparent`` record against the live hierarchy — structural
+    validity (:meth:`Hierarchy.validate`), every non-empty region's
+    ancestry terminating at a root, and a single shared root for all
+    non-empty regions (a split forest would silently partition remote
+    recovery).  Inert on static runs: it consumes nothing unless a
+    re-parent record appears.
+    """
+
+    name = "adaptive-topology"
+    kinds = ("tree_reparent",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._reparents = 0
+
+    def _check_topology(self, time: float,
+                        record: Optional[TraceRecord] = None) -> None:
+        hierarchy = self._sink.simulation.hierarchy
+        try:
+            hierarchy.validate()
+        except Exception as exc:
+            self.fail(time, f"hierarchy invalid after re-parent: {exc}", record)
+            return
+        roots: Set[int] = set()
+        for region_id, region in sorted(hierarchy.regions.items()):
+            if not region.members:
+                continue
+            seen = set()
+            current = region_id
+            while hierarchy.regions[current].parent_id is not None:
+                if current in seen:  # validate() already failed above,
+                    break            # but stay safe against partial state
+                seen.add(current)
+                current = hierarchy.regions[current].parent_id
+            roots.add(current)
+        if len(roots) > 1:
+            self.fail(
+                time,
+                f"hierarchy split into {len(roots)} disconnected trees "
+                f"(roots {sorted(roots)}) after re-parent",
+                record,
+            )
+
+    def on_record(self, record: TraceRecord) -> None:
+        self._reparents += 1
+        new_parent = record.get("new_parent")
+        hierarchy = self._sink.simulation.hierarchy
+        if new_parent is not None:
+            target = hierarchy.regions.get(new_parent)
+            if target is None or not target.members:
+                self.fail(
+                    record.time,
+                    f"region {record.get('region')} re-parented onto "
+                    f"{'missing' if target is None else 'empty'} region "
+                    f"{new_parent} (orphaned repair path)",
+                    record,
+                )
+        self._check_topology(record.time, record)
+
+    def at_end(self, ctx: EndContext) -> None:
+        if self._reparents:
+            self._check_topology(ctx.simulation.sim.now)
+
+
 def default_invariants() -> Sequence[Invariant]:
     """Fresh instances of the full invariant set, in check order."""
     return (
@@ -553,4 +629,5 @@ def default_invariants() -> Sequence[Invariant]:
         RecoveryLiveness(),
         FecAccounting(),
         CongestionQuota(),
+        AdaptiveTopology(),
     )

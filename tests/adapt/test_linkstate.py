@@ -1,0 +1,154 @@
+"""Unit tests for passive link-state estimation (repro.adapt.linkstate)."""
+
+import pytest
+
+from repro.adapt.linkstate import LinkStateEstimator, PairState, pair_key
+from repro.net.topology import chain, star
+
+
+class TestPairKey:
+    def test_canonical_order(self):
+        assert pair_key(2, 1) == (1, 2)
+        assert pair_key(1, 2) == (1, 2)
+
+    def test_self_pair(self):
+        assert pair_key(3, 3) == (3, 3)
+
+
+class TestPairState:
+    def test_first_loss_sample_replaces_the_default(self):
+        state = PairState()
+        state.observe_loss(1.0, alpha=0.2)
+        assert state.loss == 1.0
+        assert state.samples == 1
+
+    def test_subsequent_loss_samples_are_ewma(self):
+        state = PairState()
+        state.observe_loss(1.0, alpha=0.2)
+        state.observe_loss(0.0, alpha=0.2)
+        assert state.loss == pytest.approx(0.8)
+
+    def test_first_rtt_sample_replaces_none(self):
+        state = PairState()
+        state.observe_rtt(50.0, alpha=0.2)
+        assert state.rtt_ms == 50.0
+
+    def test_subsequent_rtt_samples_are_ewma(self):
+        state = PairState()
+        state.observe_rtt(100.0, alpha=0.5)
+        state.observe_rtt(50.0, alpha=0.5)
+        assert state.rtt_ms == pytest.approx(75.0)
+
+    def test_etx_of_clean_link_is_one(self):
+        assert PairState().etx() == 1.0
+
+    def test_etx_grows_with_loss(self):
+        state = PairState(loss=0.5, samples=1)
+        assert state.etx() == pytest.approx(4.0)  # 1 / (1 - 0.5)^2
+
+    def test_etx_is_capped_for_dead_links(self):
+        state = PairState(loss=1.0, samples=1)
+        assert state.etx() == 100.0
+
+
+class TestQueries:
+    def test_unsampled_pair_has_optimistic_etx_and_prior_rtt(self):
+        estimator = LinkStateEstimator(chain([2, 2]), default_rtt_ms=80.0)
+        assert estimator.etx(0, 1) == 1.0
+        assert estimator.rtt_ms(0, 1) == 80.0
+        assert estimator.edge_cost(0, 1) == 80.0
+
+    def test_edge_cost_is_etx_times_rtt(self):
+        estimator = LinkStateEstimator(chain([2, 2]))
+        state = estimator.state(0, 1)
+        state.observe_loss(0.5, estimator.ewma_alpha)
+        state.observe_rtt(100.0, estimator.ewma_alpha)
+        assert estimator.edge_cost(0, 1) == pytest.approx(400.0)
+
+    def test_queries_are_undirected(self):
+        estimator = LinkStateEstimator(chain([2, 2]))
+        estimator.state(1, 0).observe_rtt(33.0, 0.2)
+        assert estimator.rtt_ms(0, 1) == 33.0
+
+
+class TestTraceSubscribers:
+    """Feed hand-crafted trace records through a real TraceLog."""
+
+    def _estimator(self, trace, hierarchy=None):
+        hierarchy = hierarchy if hierarchy is not None else chain([2, 2, 2])
+        return LinkStateEstimator(hierarchy, default_rtt_ms=80.0).attach(trace)
+
+    def test_served_remote_request_is_a_success_sample(self, trace):
+        estimator = self._estimator(trace)
+        # node 0 lives in region 0, node 2 in region 1.
+        trace.emit(10.0, "remote_request_received", node=0, seq=1, requester=2)
+        state = estimator.pairs[pair_key(0, 1)]
+        assert state.samples == 1
+        assert state.loss == 0.0
+
+    def test_same_region_request_is_ignored(self, trace):
+        estimator = self._estimator(trace)
+        trace.emit(10.0, "remote_request_received", node=0, seq=1, requester=1)
+        assert estimator.pairs == {}
+
+    def test_departed_node_is_ignored(self, trace):
+        """Churn can remove a node between emit and delivery."""
+        estimator = self._estimator(trace)
+        trace.emit(10.0, "remote_request_received", node=0, seq=1, requester=999)
+        assert estimator.pairs == {}
+
+    def test_remote_recovery_contributes_rtt_and_loss(self, trace):
+        estimator = self._estimator(trace)
+        # node 2 (region 1, parent region 0): 3 remote rounds, 150 ms.
+        trace.emit(150.0, "recovery_completed", node=2, seq=1, latency=150.0,
+                   local_rounds=0, remote_rounds=3, remote_requests=2)
+        state = estimator.pairs[pair_key(0, 1)]
+        assert state.rtt_ms == pytest.approx(50.0)  # latency / rounds
+        # One success plus two timed-out rounds as loss samples.
+        assert state.samples == 3
+        assert state.loss > 0.0
+
+    def test_local_only_recovery_is_not_a_link_sample(self, trace):
+        estimator = self._estimator(trace)
+        trace.emit(20.0, "recovery_completed", node=2, seq=1, latency=20.0,
+                   local_rounds=2, remote_rounds=0, remote_requests=0)
+        assert estimator.pairs == {}
+
+    def test_root_region_recovery_has_no_parent_edge(self, trace):
+        estimator = self._estimator(trace)
+        trace.emit(20.0, "recovery_completed", node=0, seq=1, latency=20.0,
+                   local_rounds=0, remote_rounds=2, remote_requests=1)
+        assert estimator.pairs == {}
+
+    def test_reliability_violation_is_a_hard_loss_sample(self, trace):
+        estimator = self._estimator(trace)
+        trace.emit(500.0, "reliability_violation", node=2, seq=1, waited=500.0)
+        state = estimator.pairs[pair_key(0, 1)]
+        assert state.loss == 1.0
+        assert state.etx() == 100.0
+
+    def test_cc_feedback_samples_the_parent_edge(self, trace):
+        estimator = self._estimator(trace)
+        trace.emit(100.0, "cc_feedback", receiver=2, loss=0.25, rtt=120.0)
+        state = estimator.pairs[pair_key(0, 1)]
+        assert state.loss == 0.25
+        assert state.rtt_ms == 120.0
+
+    def test_ewma_tracks_an_improving_link(self, trace):
+        """A burst of successes after a violation pulls loss back down."""
+        estimator = self._estimator(trace)
+        trace.emit(1.0, "reliability_violation", node=2, seq=1, waited=100.0)
+        for t in range(40):
+            trace.emit(float(t), "remote_request_received",
+                       node=0, seq=t, requester=2)
+        state = estimator.pairs[pair_key(0, 1)]
+        assert state.loss < 0.01
+
+    def test_star_topology_distinguishes_leaf_edges(self, trace):
+        hierarchy = star(2, [2, 2])
+        estimator = self._estimator(trace, hierarchy)
+        # node 2 is in region 1, node 4 in region 2; both parent region 0.
+        trace.emit(400.0, "reliability_violation", node=2, seq=1, waited=400.0)
+        trace.emit(10.0, "remote_request_received", node=0, seq=1, requester=4)
+        assert estimator.etx(0, 1) == 100.0
+        assert estimator.etx(0, 2) == 1.0

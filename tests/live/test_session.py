@@ -54,6 +54,28 @@ class TestLoopbackRun:
         assert summary["delivered_fraction"] == 1.0
         assert summary["time_ms"] > 0
 
+    def test_summary_reports_makespan(self):
+        session = run(run_spec_live(small_spec(), speedup=20.0))
+        summary = session.summary()
+        assert summary["makespan_session_ms"] > 0
+        assert (summary["makespan_seq_p90_ms"]
+                <= summary["makespan_seq_max_ms"])
+        assert session.makespan.delivery_count == 24  # 6 members x 4 msgs
+
+    def test_asymmetric_inter_region_delays_are_plumbed(self):
+        """netem-style up/down split flows from the spec into the live
+        session's latency model (which paces real packet delivery)."""
+        spec = small_spec()
+        spec = spec.with_(topology=dataclasses.replace(
+            spec.topology, inter_up_one_way=2.0, inter_down_one_way=6.0))
+        session = run(run_spec_live(spec, speedup=20.0))
+        assert session.latency.asymmetric
+        # Nodes 3..5 sit one region below nodes 0..2.
+        assert session.latency.one_way(3, 0) == pytest.approx(2.0)
+        assert session.latency.one_way(0, 3) == pytest.approx(6.0)
+        assert session.delivered_fraction(session.message_count) == 1.0
+        assert session.violation_count() == 0
+
     def test_detect_all_workload_recovers_live(self):
         """The registry's probe injection drives a real recovery: 10%
         of members hold the message, the rest fetch it over UDP."""

@@ -1,0 +1,80 @@
+"""Unit tests for the makespan tracker (repro.metrics.makespan)."""
+
+import pytest
+
+from repro.metrics.makespan import MakespanTracker
+
+
+def deliver(trace, time, seq, node=0):
+    trace.emit(time, "member_received", node=node, seq=seq, via="multicast")
+
+
+class TestEmpty:
+    def test_session_makespan_is_zero(self):
+        assert MakespanTracker().session_makespan() == 0.0
+
+    def test_summary_is_all_zeros(self):
+        summary = MakespanTracker().summary()
+        assert set(summary) == {
+            "makespan_session_ms", "makespan_seq_mean_ms",
+            "makespan_seq_p50_ms", "makespan_seq_p90_ms",
+            "makespan_seq_max_ms",
+        }
+        assert all(value == 0.0 for value in summary.values())
+
+    def test_queries_report_nothing(self):
+        tracker = MakespanTracker()
+        assert tracker.per_seq() == {}
+        assert tracker.seq_makespan(1) is None
+        assert tracker.last_delivery_time() is None
+        assert tracker.delivery_count == 0
+
+
+class TestTracking:
+    def test_per_seq_span_is_first_to_last(self, trace):
+        tracker = MakespanTracker().attach(trace)
+        deliver(trace, 10.0, seq=1, node=0)
+        deliver(trace, 25.0, seq=1, node=1)
+        deliver(trace, 18.0, seq=1, node=2)
+        assert tracker.seq_makespan(1) == pytest.approx(15.0)
+        assert tracker.delivery_count == 3
+
+    def test_single_delivery_has_zero_makespan(self, trace):
+        tracker = MakespanTracker().attach(trace)
+        deliver(trace, 42.0, seq=1)
+        assert tracker.seq_makespan(1) == 0.0
+        assert tracker.session_makespan() == 0.0
+
+    def test_session_spans_across_seqs(self, trace):
+        tracker = MakespanTracker().attach(trace)
+        deliver(trace, 10.0, seq=1)
+        deliver(trace, 30.0, seq=1)
+        deliver(trace, 50.0, seq=2)
+        deliver(trace, 90.0, seq=2)
+        assert tracker.session_makespan() == pytest.approx(80.0)
+        assert tracker.last_delivery_time() == 90.0
+        assert tracker.per_seq() == {1: 20.0, 2: 40.0}
+
+    def test_out_of_order_records_are_folded_in(self, trace):
+        """Subscribers see records in emit order, which for a sharded
+        or merged trace may not be time order."""
+        tracker = MakespanTracker().attach(trace)
+        deliver(trace, 50.0, seq=1)
+        deliver(trace, 5.0, seq=1)
+        assert tracker.seq_makespan(1) == pytest.approx(45.0)
+
+    def test_other_record_kinds_are_ignored(self, trace):
+        tracker = MakespanTracker().attach(trace)
+        trace.emit(10.0, "repair_sent", node=0, seq=1, to=2, scope="local")
+        assert tracker.delivery_count == 0
+
+    def test_summary_percentiles(self, trace):
+        tracker = MakespanTracker().attach(trace)
+        for seq, span in enumerate((10.0, 20.0, 30.0, 40.0), start=1):
+            deliver(trace, 100.0, seq=seq)
+            deliver(trace, 100.0 + span, seq=seq)
+        summary = tracker.summary()
+        assert summary["makespan_seq_mean_ms"] == pytest.approx(25.0)
+        assert summary["makespan_seq_p50_ms"] == pytest.approx(25.0)
+        assert summary["makespan_seq_max_ms"] == 40.0
+        assert summary["makespan_session_ms"] == pytest.approx(40.0)

@@ -53,6 +53,24 @@ class TestTakeSnapshot:
         assert second.goodput_msgs_per_s == 0.0
         assert second.delivered_total == first.delivered_total
 
+    def test_makespan_read_from_groups_that_carry_a_tracker(self):
+        """Live sessions expose ``.makespan``; plain simulations don't.
+        The snapshot must report the span for the former and a quiet
+        0.0 for the latter."""
+        from repro.metrics.makespan import MakespanTracker
+
+        group = built_group()
+        assert take_snapshot(group).session_makespan_ms == 0.0
+        tracker = MakespanTracker()
+        for record in group.trace.records:
+            if record.kind == "member_received":
+                tracker._on_received(record)
+        group.makespan = tracker
+        assert take_snapshot(group).session_makespan_ms == (
+            tracker.session_makespan()
+        )
+        assert take_snapshot(group).session_makespan_ms > 0.0
+
     def test_to_dict_is_json_ready(self):
         snapshot = take_snapshot(built_group())
         payload = json.loads(json.dumps(snapshot.to_dict()))

@@ -82,6 +82,36 @@ class TestBuilderProducesSpecs:
         with pytest.raises(ValueError):
             scenario().regions(0, 10)
 
+    def test_adaptive_verb_enables_the_subsystem(self):
+        spec = (
+            scenario().regions(3, 10)
+            .adaptive(update_interval=120.0, hysteresis=0.2,
+                      max_reparents=5, ewma_alpha=0.3)
+            .spec()
+        )
+        assert spec.adapt.enabled
+        assert spec.adapt.mode == "passive"
+        assert spec.adapt.update_interval == 120.0
+        assert spec.adapt.hysteresis == 0.2
+        assert spec.adapt.max_reparents == 5
+        assert spec.adapt.ewma_alpha == 0.3
+
+    def test_latency_verb_sets_directional_delays(self):
+        spec = (
+            scenario().chain(5, 5)
+            .latency(inter=40.0, inter_up=10.0, inter_down=70.0)
+            .spec()
+        )
+        assert spec.topology.inter_up_one_way == 10.0
+        assert spec.topology.inter_down_one_way == 70.0
+        # None resets to symmetric.
+        reset = (
+            scenario().chain(5, 5)
+            .latency(inter_up=10.0).latency(inter_up=None)
+            .spec()
+        )
+        assert reset.topology.inter_up_one_way is None
+
     def test_round_trip_of_built_spec(self):
         spec = (
             scenario("rt").tree(1, 2, 4).bursts((5.0, 2), (20.0, 1))

@@ -15,6 +15,7 @@ import pytest
 
 from repro.scenario.registry import get_scenario, scenario_names
 from repro.scenario.spec import (
+    AdaptSpec,
     ChurnSpec,
     FecSpec,
     LossSpec,
@@ -33,7 +34,9 @@ def _custom_spec() -> ScenarioSpec:
         seed=17,
         description="kitchen sink",
         topology=TopologySpec(kind="chain", sizes=(40, 10, 5),
-                              intra_one_way=2.5, inter_one_way=120.0),
+                              intra_one_way=2.5, inter_one_way=120.0,
+                              inter_up_one_way=60.0,
+                              inter_down_one_way=180.0),
         traffic=TrafficSpec(kind="burst", bursts=((10.0, 3), (50.0, 2))),
         loss=LossSpec(kind="gilbert_elliott", p_good_to_bad=0.02,
                       p_bad_to_good=0.4, p_bad=0.9),
@@ -42,6 +45,8 @@ def _custom_spec() -> ScenarioSpec:
         policy=PolicySpec(kind="fixed_time", hold_time=500.0,
                           session_interval=None, max_recovery_time=1_000.0),
         fec=FecSpec(mode="proactive", block_size=4, parity=2),
+        adapt=AdaptSpec(mode="passive", update_interval=150.0,
+                        hysteresis=0.2, max_reparents=4, ewma_alpha=0.3),
         measurement=MeasurementSpec(horizon=2_000.0, probe_period=25.0),
     )
 
@@ -170,3 +175,75 @@ class TestValidation:
         assert TopologySpec(
             kind="balanced_tree", depth=1, fanout=2, n=3
         ).member_count() == 9
+
+
+class TestAdaptSpec:
+    def test_default_is_off_and_omitted_from_payload(self):
+        """The adapt node must not appear in serialized defaults, or
+        every pre-adapt spec digest in the wild would change."""
+        spec = ScenarioSpec()
+        assert not spec.adapt.enabled
+        assert "adapt" not in spec.to_dict()
+
+    def test_default_node_does_not_change_the_digest(self):
+        spec = get_scenario("heterogeneous_regions")
+        assert spec.with_(adapt=AdaptSpec()).digest() == spec.digest()
+
+    def test_enabled_node_round_trips(self):
+        spec = ScenarioSpec(adapt=AdaptSpec(
+            mode="passive", update_interval=75.0, hysteresis=0.05,
+            max_reparents=3, ewma_alpha=0.4,
+        ))
+        payload = spec.to_dict()
+        assert "adapt" in payload
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.adapt.enabled
+        assert restored.adapt.update_interval == 75.0
+        assert restored.digest() == spec.digest()
+
+    def test_enabled_node_changes_the_digest(self):
+        spec = ScenarioSpec()
+        assert spec.with_(adapt=AdaptSpec(mode="passive")).digest() != spec.digest()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptSpec(mode="clairvoyant")
+        with pytest.raises(ValueError):
+            AdaptSpec(update_interval=0.0)
+        with pytest.raises(ValueError):
+            AdaptSpec(hysteresis=-0.1)
+        with pytest.raises(ValueError):
+            AdaptSpec(max_reparents=-1)
+        with pytest.raises(ValueError):
+            AdaptSpec(ewma_alpha=0.0)
+        with pytest.raises(ValueError):
+            AdaptSpec(ewma_alpha=1.5)
+
+
+class TestAsymmetricTopology:
+    def test_symmetric_default_is_omitted_from_payload(self):
+        payload = ScenarioSpec().to_dict()
+        assert "inter_up_one_way" not in payload["topology"]
+        assert "inter_down_one_way" not in payload["topology"]
+
+    def test_directional_delays_round_trip(self):
+        spec = ScenarioSpec(topology=TopologySpec(
+            kind="chain", sizes=(4, 4),
+            inter_up_one_way=20.0, inter_down_one_way=60.0,
+        ))
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored.topology.inter_up_one_way == 20.0
+        assert restored.topology.inter_down_one_way == 60.0
+        assert restored.digest() == spec.digest()
+
+    def test_directional_delays_change_the_digest(self):
+        base = ScenarioSpec()
+        skewed = base.with_(topology=TopologySpec(inter_up_one_way=20.0))
+        assert skewed.digest() != base.digest()
+
+    def test_negative_directional_delay_rejected(self):
+        with pytest.raises(ValueError):
+            TopologySpec(inter_up_one_way=-5.0)
+        with pytest.raises(ValueError):
+            TopologySpec(inter_down_one_way=-5.0)

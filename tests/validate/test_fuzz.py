@@ -73,6 +73,23 @@ class TestSampling:
                     _traffic_end(spec.traffic) + 1000.0 / cc.min_rate
                 )
 
+    def test_adapt_sampled_in_both_modes(self):
+        """The fuzzer must exercise static AND adaptive hierarchies."""
+        modes = [sample_spec(8, index).adapt.enabled for index in range(60)]
+        assert True in modes and False in modes
+        # Roughly the configured ~30% on-rate, not a token one-off.
+        assert 5 <= sum(modes) <= 40
+
+    def test_adapt_samples_are_bounded(self):
+        for index in range(60):
+            adapt = sample_spec(8, index).adapt
+            if adapt.enabled:
+                assert adapt.mode == "passive"
+                assert adapt.update_interval > 0.0
+                assert adapt.hysteresis >= 0.0
+                assert 1 <= adapt.max_reparents <= 6
+                assert 0.0 < adapt.ewma_alpha <= 1.0
+
 
 class TestRunSpec:
     def test_clean_trial(self):
@@ -86,6 +103,13 @@ class TestRunSpec:
         index = next(i for i in range(60)
                      if sample_spec(7, i).congestion.enabled)
         outcome = run_spec(sample_spec(7, index))
+        assert not outcome.failed
+        assert outcome.records_checked > 0
+
+    def test_adapt_enabled_sample_runs_clean(self):
+        index = next(i for i in range(80)
+                     if sample_spec(8, i).adapt.enabled)
+        outcome = run_spec(sample_spec(8, index))
         assert not outcome.failed
         assert outcome.records_checked > 0
 
@@ -129,6 +153,28 @@ class TestArtifacts:
         payload = artifact_payload(outcome, fuzz_seed=0, trial_index=2)
         assert payload["error"] == "ValueError: nope"
         assert "first_violation" not in payload
+
+    def test_adaptive_violation_artifact_is_replayable(self, tmp_path):
+        """An adaptive-topology failure must ship a one-command repro:
+        the artifact keeps the adapt node, and the restored spec runs."""
+        index = next(i for i in range(80)
+                     if sample_spec(8, i).adapt.enabled)
+        spec = sample_spec(8, index)
+        outcome = TrialOutcome(
+            spec=spec,
+            violations=[{"invariant": "adaptive-topology", "time": 250.0,
+                         "message": "region 2 re-parented onto empty region 3"}],
+            violation_count=1,
+        )
+        payload = artifact_payload(outcome, fuzz_seed=8, trial_index=index)
+        assert payload["first_violation"]["invariant"] == "adaptive-topology"
+        path = write_artifact(payload, str(tmp_path / "artifacts"))
+        restored = load_artifact_spec(path)
+        assert restored == spec
+        assert restored.adapt.enabled
+        assert restored.digest() == spec.digest()
+        replayed = run_spec(restored)  # the `validate replay` path
+        assert replayed.records_checked > 0
 
 
 class TestMinimization:
@@ -184,6 +230,30 @@ class TestMinimization:
         minimized, _outcome, _runs = minimize_spec(
             spec, "invariant:recovery-liveness")
         assert not minimized.congestion.enabled
+        assert minimized.churn.kind == "random"
+
+    def test_minimizer_can_drop_adapt(self, monkeypatch):
+        """A failure independent of re-parenting sheds the adapt node."""
+        from repro.scenario.spec import AdaptSpec
+
+        spec = sample_spec(0, 0).with_(
+            churn=ChurnSpec(kind="random", leave_rate=0.01),
+            adapt=AdaptSpec(mode="passive", update_interval=100.0),
+        )
+
+        def fake_run(candidate):
+            outcome = TrialOutcome(spec=candidate)
+            if candidate.churn.kind == "random":
+                outcome.violation_count = 1
+                outcome.violations = [
+                    {"invariant": "recovery-liveness", "time": 0.0, "message": "x"}
+                ]
+            return outcome
+
+        monkeypatch.setattr(fuzz_module, "run_spec", fake_run)
+        minimized, _outcome, _runs = minimize_spec(
+            spec, "invariant:recovery-liveness")
+        assert not minimized.adapt.enabled
         assert minimized.churn.kind == "random"
 
     def test_minimizer_keeps_spec_when_nothing_reproduces(self, monkeypatch):

@@ -227,3 +227,62 @@ class TestViolationShape:
     def test_to_dict_without_record(self):
         payload = Violation("x", 1.0, "boom").to_dict()
         assert "record" not in payload
+
+
+class TestAdaptiveTopology:
+    """Feed tree_reparent records against a real (mutable) hierarchy."""
+
+    @staticmethod
+    def _star():
+        from repro.net.topology import star
+
+        return star(2, [2, 2])
+
+    def test_legal_reparent_is_clean(self, oracle, fake_sim):
+        fake_sim.hierarchy = self._star()
+        fake_sim.hierarchy.regions[2].parent_id = 1  # apply the move first
+        fake_sim.trace.emit(10.0, "tree_reparent", region=2, old_parent=0,
+                            new_parent=1, previous_cost=800.0,
+                            predicted_cost=160.0)
+        assert oracle.finish() == ()
+
+    def test_reparent_onto_empty_region_fires(self, oracle, fake_sim):
+        fake_sim.hierarchy = self._star()
+        fake_sim.hierarchy.add_region(3, parent_id=0)  # exists, no members
+        fake_sim.hierarchy.regions[2].parent_id = 3
+        fake_sim.trace.emit(10.0, "tree_reparent", region=2, old_parent=0,
+                            new_parent=3, previous_cost=800.0,
+                            predicted_cost=160.0)
+        assert any("empty region" in v.message for v in oracle.violations)
+
+    def test_reparent_onto_missing_region_fires(self, oracle, fake_sim):
+        fake_sim.hierarchy = self._star()
+        fake_sim.trace.emit(10.0, "tree_reparent", region=2, old_parent=0,
+                            new_parent=99, previous_cost=800.0,
+                            predicted_cost=160.0)
+        assert any("missing" in v.message for v in oracle.violations)
+
+    def test_cycle_fires(self, oracle, fake_sim):
+        fake_sim.hierarchy = self._star()
+        # Manufacture 1 -> 2 -> 1 behind the optimizer's back.
+        fake_sim.hierarchy.regions[1].parent_id = 2
+        fake_sim.hierarchy.regions[2].parent_id = 1
+        fake_sim.trace.emit(10.0, "tree_reparent", region=2, old_parent=0,
+                            new_parent=1, previous_cost=800.0,
+                            predicted_cost=160.0)
+        assert any("invalid" in v.message for v in oracle.violations)
+
+    def test_split_forest_fires(self, oracle, fake_sim):
+        fake_sim.hierarchy = self._star()
+        fake_sim.hierarchy.regions[2].parent_id = None  # second root
+        fake_sim.trace.emit(10.0, "tree_reparent", region=2, old_parent=0,
+                            new_parent=1, previous_cost=800.0,
+                            predicted_cost=160.0)
+        assert any("disconnected" in v.message for v in oracle.violations)
+
+    def test_inert_without_reparent_records(self, oracle, fake_sim):
+        """Static runs pay nothing: no records, no end-of-run re-check —
+        even a hierarchy the invariant would reject goes unexamined."""
+        fake_sim.hierarchy = self._star()
+        fake_sim.hierarchy.regions[2].parent_id = None
+        assert oracle.finish() == ()

@@ -72,7 +72,7 @@ def test_simple_lossy_run_is_clean_and_checked():
     assert set(report["violations_by_invariant"]) == {
         "no-duplicate-delivery", "gapless-delivery", "buffer-conservation",
         "long-term-quota", "recovery-liveness", "fec-accounting",
-        "congestion-quota",
+        "congestion-quota", "adaptive-topology",
     }
 
 

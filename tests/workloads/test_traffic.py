@@ -192,6 +192,37 @@ class TestSendTimesShim:
         with pytest.warns(DeprecationWarning, match="next_send"):
             UniformStream(count=1, interval=10.0).send_times()
 
+    def test_warns_on_every_call(self):
+        """The shim is not a once-per-process nag: each call site that
+        still uses it should see the warning."""
+        stream = UniformStream(count=1, interval=10.0)
+        with pytest.warns(DeprecationWarning):
+            stream.send_times()
+        with pytest.warns(DeprecationWarning):
+            stream.send_times()
+
+    def test_warning_points_at_the_caller(self):
+        """stacklevel=2: the warning must blame the calling line, not
+        traffic.py, or migration hunts go nowhere."""
+        with pytest.warns(DeprecationWarning) as captured:
+            UniformStream(count=2, interval=10.0).send_times()
+        assert captured[0].filename == __file__
+
+    def test_shim_does_not_consume_the_pull_cursor(self):
+        stream = UniformStream(count=2, interval=10.0, start=5.0)
+        with pytest.warns(DeprecationWarning):
+            assert stream.send_times() == [5.0, 15.0]
+        assert stream.remaining() == 2
+        assert stream.next_send(0.0) == 5.0
+
+    def test_shim_returns_a_copy(self):
+        stream = UniformStream(count=2, interval=10.0)
+        with pytest.warns(DeprecationWarning):
+            first = stream.send_times()
+        first.append(999.0)
+        with pytest.warns(DeprecationWarning):
+            assert stream.send_times() == [0.0, 10.0]
+
     def test_schedule_does_not_warn(self, recwarn):
         simulation = RrmpSimulation(
             single_region(3), config=RrmpConfig(session_interval=None), seed=0,
