@@ -1,0 +1,68 @@
+"""Ablation bench: workload families on the streaming session.
+
+The headline acceptance for the workload subsystem: layering waypoint
+mobility onto the streaming session measurably stretches the makespan
+and the rebuffer account relative to the static run (handoffs cost
+real delivery time), the regional outage produces the largest stall
+bill (a whole region replays its gap after the heal), and every mode
+runs clean under the full invariant set — handoff-conservation and
+rebuffer-accounting included.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import run_once
+from repro.experiments.ablation_workloads import run_workloads_ablation
+from repro.scenario.registry import get_scenario
+from repro.scenario.spec import MobilitySpec
+from repro.validate.fuzz import run_spec
+
+SEEDS = 3
+
+
+def _ablation_with_oracle(**kwargs):
+    table = run_workloads_ablation(**kwargs)
+    # The oracle leg: a mobile streaming run must stay violation-free
+    # under the full invariant set (handoff-conservation audits every
+    # buffer handoff, rebuffer-accounting replays the playout clocks).
+    spec = replace(
+        get_scenario("streaming_playback"),
+        mobility=MobilitySpec(kind="waypoint", speed=2.0, epoch=50.0,
+                              distance_loss=0.10),
+    )
+    outcome = run_spec(spec)
+    assert outcome.error is None, outcome.error
+    table.notes.append(
+        f"oracle: mobile streaming_playback ran clean under all "
+        f"invariants (handoff-conservation and rebuffer-accounting "
+        f"included): {outcome.violation_count} violations over "
+        f"{outcome.records_checked} records"
+    )
+    assert outcome.violation_count == 0, outcome.violations
+    return table
+
+
+def test_ablation_workloads(benchmark, show):
+    table = run_once(
+        benchmark, _ablation_with_oracle, bench_id="workloads",
+        seeds=SEEDS,
+    )
+    show(table)
+    static, mobility, outage = 0, 1, 2  # mode indices in _MODES order
+    makespan = table.series["session makespan (ms)"]
+    rebuffer_events = table.series["rebuffer events"]
+    rebuffer_time = table.series["rebuffer time (ms)"]
+    handoffs = table.series["mobility handoffs"]
+    violations = table.series["invariant violations"]
+    # The acceptance criterion: mobility measurably costs the stream —
+    # handoff rejoins stretch the makespan and stall more playouts.
+    assert makespan[mobility] > makespan[static]
+    assert rebuffer_events[mobility] > rebuffer_events[static]
+    # Only the mobile run hands buffers off; the others must not.
+    assert handoffs[mobility] > 0
+    assert handoffs[static] == 0 and handoffs[outage] == 0
+    # A healed partition replays its whole gap late: the outage's stall
+    # bill dwarfs the static run's scattered single-frame stalls.
+    assert rebuffer_time[outage] > rebuffer_time[static]
+    # Every run executed under the oracle and came back clean.
+    assert all(count == 0 for count in violations)

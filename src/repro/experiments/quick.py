@@ -30,6 +30,7 @@ QUICK_PARAMS: Dict[str, Dict[str, object]] = {
     "ablation_fec": {"points": ((4, 1), (8, 2)), "loss_rates": (0.3,), "seeds": 3},
     "ablation_congestion": {"loads": (0.5, 2.0), "seeds": 2},
     "ablation_adaptive_tree": {"seeds": 2},
+    "ablation_workloads": {"seeds": 2},
 }
 
 

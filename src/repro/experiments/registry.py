@@ -21,6 +21,7 @@ from repro.experiments.ablation_lambda import run_lambda_sweep
 from repro.experiments.ablation_policies import run_policy_comparison
 from repro.experiments.ablation_scaling import run_scaling
 from repro.experiments.ablation_search_storm import run_search_vs_multicast
+from repro.experiments.ablation_workloads import run_workloads_ablation
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig6 import run_fig6
@@ -73,6 +74,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
         Experiment("ablation_adaptive_tree",
                    "static vs adaptive repair hierarchy (makespan objective)",
                    run_adaptive_tree_ablation),
+        Experiment("ablation_workloads",
+                   "workload families: static vs mobility vs regional outage",
+                   run_workloads_ablation),
     ]
 }
 

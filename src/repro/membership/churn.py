@@ -18,8 +18,8 @@ times for soak-style tests.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence
 
 from repro.net.topology import NodeId, RegionId
 from repro.protocol.rrmp import RrmpSimulation
@@ -31,29 +31,65 @@ EVENT_JOIN = "join"
 
 @dataclass(frozen=True)
 class ChurnEvent:
-    """One scripted membership change."""
+    """One scripted membership change.
+
+    ``lazy=True`` marks a leave/crash whose victim is resolved from the
+    then-alive membership at fire time (``node`` stays ``None`` until
+    then); :func:`random_churn` generates such events so they compose
+    correctly with each other.
+    """
 
     time: float
     action: str  # EVENT_LEAVE | EVENT_CRASH | EVENT_JOIN
     node: Optional[NodeId] = None      # for leave/crash
     region: Optional[RegionId] = None  # for join
+    lazy: bool = False                 # victim resolved at fire time
 
     def __post_init__(self) -> None:
         if self.action not in (EVENT_LEAVE, EVENT_CRASH, EVENT_JOIN):
             raise ValueError(f"unknown churn action {self.action!r}")
-        if self.action in (EVENT_LEAVE, EVENT_CRASH) and self.node is None:
+        if (self.action in (EVENT_LEAVE, EVENT_CRASH) and self.node is None
+                and not self.lazy):
             raise ValueError(f"{self.action} event requires a node")
         if self.action == EVENT_JOIN and self.region is None:
             raise ValueError("join event requires a region")
 
 
 class ChurnSchedule:
-    """Applies a list of :class:`ChurnEvent` to a simulation."""
+    """Applies a list of :class:`ChurnEvent` to a simulation.
 
-    def __init__(self, simulation: RrmpSimulation, events: Sequence[ChurnEvent]) -> None:
+    Every event — including lazily-resolved leave/crash events — lives
+    in ``events``, so inspection and replay tooling see the complete
+    schedule; ``applied`` records events in fire order (lazy events with
+    their victim filled in).  Scheduling the same event (identical time,
+    action, node and region) twice on one simulation — e.g. by
+    constructing a second schedule from the same list — raises
+    ``ValueError`` instead of silently doubling the churn.
+    """
+
+    def __init__(
+        self,
+        simulation: RrmpSimulation,
+        events: Sequence[ChurnEvent],
+        victim_resolver: Optional[Callable[[], Optional[NodeId]]] = None,
+    ) -> None:
         self.simulation = simulation
+        self.victim_resolver = victim_resolver
         self.events = sorted(events, key=lambda event: event.time)
         self.applied: List[ChurnEvent] = []
+        registered = getattr(simulation, "_churn_event_keys", None)
+        if registered is None:
+            registered = set()
+            simulation._churn_event_keys = registered
+        for event in self.events:
+            key = (event.time, event.action, event.node, event.region)
+            if key in registered:
+                raise ValueError(
+                    f"duplicate churn event: {event.action} at t={event.time!r} "
+                    f"(node={event.node!r}, region={event.region!r}) is already "
+                    "scheduled on this simulation"
+                )
+            registered.add(key)
         for event in self.events:
             simulation.sim.at(event.time, self._apply, event)
 
@@ -62,8 +98,14 @@ class ChurnSchedule:
             assert event.region is not None
             self.simulation.add_member(event.region)
         else:
-            assert event.node is not None
-            member = self.simulation.members.get(event.node)
+            node = event.node
+            if node is None:
+                resolver = self.victim_resolver
+                node = resolver() if resolver is not None else None
+                if node is None:
+                    return  # nobody eligible; schedule was optimistic
+                event = replace(event, node=node)
+            member = self.simulation.members.get(node)
             if member is None or not member.alive:
                 return  # already gone; schedule was optimistic
             if event.action == EVENT_LEAVE:
@@ -106,25 +148,20 @@ def random_churn(
                  if m.node_id not in protected]
         return rng.choice(alive) if alive else None
 
-    # Leave/crash events resolve their victim at fire time through a
-    # wrapper event, so we install them directly on the engine.
-    schedule = ChurnSchedule(simulation, [])
-
-    def fire(action: str) -> None:
-        victim = pick_victim()
-        if victim is None:
-            return
-        event = ChurnEvent(time=simulation.sim.now, action=action, node=victim)
-        schedule._apply(event)
-
-    for t in times(leave_rate):
-        simulation.sim.at(t, fire, EVENT_LEAVE)
-    for t in times(crash_rate):
-        simulation.sim.at(t, fire, EVENT_CRASH)
+    # Leave/crash victims are resolved at fire time (lazy events), but
+    # the generated schedule itself is fully recorded on the
+    # ChurnSchedule so inspection/replay tooling can see it.
+    events = [
+        ChurnEvent(time=t, action=EVENT_LEAVE, lazy=True)
+        for t in times(leave_rate)
+    ]
+    events += [
+        ChurnEvent(time=t, action=EVENT_CRASH, lazy=True)
+        for t in times(crash_rate)
+    ]
     region_ids = sorted(simulation.hierarchy.regions)
-    for t in times(join_rate):
-        region = rng.choice(region_ids)
-        simulation.sim.at(
-            t, schedule._apply, ChurnEvent(time=t, action=EVENT_JOIN, region=region)
-        )
-    return schedule
+    events += [
+        ChurnEvent(time=t, action=EVENT_JOIN, region=rng.choice(region_ids))
+        for t in times(join_rate)
+    ]
+    return ChurnSchedule(simulation, events, victim_resolver=pick_victim)

@@ -8,6 +8,7 @@ experiment harness.
 from repro.metrics.fec import FecReport, summarize_fec
 from repro.metrics.makespan import MakespanTracker
 from repro.metrics.occupancy import OccupancyProbe, occupancy_balance, occupancy_summary
+from repro.metrics.rebuffer import PlayoutClock, RebufferTracker, replay_rebuffer
 from repro.metrics.report import SeriesTable, format_cell, render_table
 from repro.metrics.runreport import RunReport
 from repro.metrics.stats import Summary, mean, percentile, stdev
@@ -17,6 +18,8 @@ __all__ = [
     "FecReport",
     "MakespanTracker",
     "OccupancyProbe",
+    "PlayoutClock",
+    "RebufferTracker",
     "RunReport",
     "SeriesTable",
     "StepSeries",
@@ -28,6 +31,7 @@ __all__ = [
     "occupancy_summary",
     "percentile",
     "render_table",
+    "replay_rebuffer",
     "stdev",
     "summarize_fec",
 ]

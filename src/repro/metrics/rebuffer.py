@@ -1,0 +1,144 @@
+"""Rebuffering: playout-deadline misses per receiver (streaming QoE).
+
+The multicast-VoD literature (PAPERS.md, prefix-buffering) evaluates
+reliable delivery against a *playout clock*, not a delivery-time
+average: a repair that arrives after its frame's deadline stalls the
+viewer no matter how fast the mean recovery was.  This module scores an
+RRMP session the same way.
+
+The model (:class:`PlayoutClock`, one per receiver):
+
+* playback starts ``startup_delay`` ms after the receiver's **first**
+  delivery and consumes sequence numbers in order from that first seq,
+  one every ``interval`` ms;
+* a frame can only play once delivered; a frame whose delivery arrives
+  after its deadline counts **one rebuffer (stall) event**, its
+  lateness counts as **stall time**, and every later deadline shifts by
+  the stall (playback pauses, it does not skip);
+* frames below the first-delivered seq are counted as ``skipped``
+  (the receiver tuned in past them).
+
+:class:`RebufferTracker` is a pure trace subscriber over
+``member_received`` records — like
+:class:`~repro.metrics.makespan.MakespanTracker` it schedules nothing
+and sends nothing, so attaching it never perturbs event counts or
+trace digests.  The rebuffer-accounting invariant
+(:mod:`repro.validate.invariants`) recomputes the same model from its
+own arrival ledger and cross-checks this tracker record-for-record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.metrics.stats import mean
+from repro.sim.tracing import TraceLog, TraceRecord
+
+
+class PlayoutClock:
+    """One receiver's deadline-driven playout state machine."""
+
+    def __init__(self, interval: float, startup_delay: float) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0 ms, got {interval!r}")
+        if startup_delay < 0:
+            raise ValueError(f"startup_delay must be >= 0, got {startup_delay!r}")
+        self.interval = interval
+        self.startup_delay = startup_delay
+        self.base_seq: int = -1           # first-delivered seq (playout origin)
+        self.next_seq: int = -1           # next frame to play
+        self.deadline: float = 0.0        # when next_seq must arrive
+        self.pending: Dict[int, float] = {}  # delivered but not yet played
+        self.stall_events = 0
+        self.stall_time = 0.0
+        self.frames_played = 0
+        self.skipped = 0
+
+    def on_arrival(self, seq: int, time: float) -> None:
+        """Feed one delivery; advances playback as far as it can go."""
+        if self.base_seq < 0:
+            self.base_seq = seq
+            self.next_seq = seq
+            self.deadline = time + self.startup_delay
+        if seq < self.next_seq:
+            self.skipped += 1
+            return
+        self.pending[seq] = time
+        while self.next_seq in self.pending:
+            arrival = self.pending.pop(self.next_seq)
+            if arrival > self.deadline:
+                self.stall_events += 1
+                self.stall_time += arrival - self.deadline
+                self.deadline = arrival  # playback pauses until the frame lands
+            self.frames_played += 1
+            self.next_seq += 1
+            self.deadline += self.interval
+
+
+def replay_rebuffer(
+    arrivals: List, interval: float, startup_delay: float
+) -> PlayoutClock:
+    """Run the playout model over one receiver's ``(seq, time)`` ledger.
+
+    The batch twin of :class:`RebufferTracker`'s streaming path — the
+    oracle's rebuffer-accounting invariant replays its own delivery
+    ledger through this and cross-checks the tracker.
+    """
+    clock = PlayoutClock(interval, startup_delay)
+    for seq, time in arrivals:
+        clock.on_arrival(seq, time)
+    return clock
+
+
+@dataclass
+class RebufferTracker:
+    """Per-receiver playout clocks driven by the trace stream."""
+
+    interval: float = 25.0
+    startup_delay: float = 100.0
+    clocks: Dict[int, PlayoutClock] = field(default_factory=dict)
+
+    def attach(self, trace: TraceLog) -> "RebufferTracker":
+        """Subscribe to ``member_received`` records; returns self."""
+        trace.subscribe(self._on_received, kind="member_received")
+        return self
+
+    def _on_received(self, record: TraceRecord) -> None:
+        clock = self.clocks.get(record["node"])
+        if clock is None:
+            clock = PlayoutClock(self.interval, self.startup_delay)
+            self.clocks[record["node"]] = clock
+        clock.on_arrival(record["seq"], record.time)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def receiver_count(self) -> int:
+        """Receivers that delivered at least one frame."""
+        return len(self.clocks)
+
+    def total_stall_events(self) -> int:
+        """Rebuffer events summed over all receivers."""
+        return sum(clock.stall_events for clock in self.clocks.values())
+
+    def total_stall_time(self) -> float:
+        """Stall milliseconds summed over all receivers."""
+        return sum(clock.stall_time for clock in self.clocks.values())
+
+    def total_frames_played(self) -> int:
+        """Frames played across all receivers."""
+        return sum(clock.frames_played for clock in self.clocks.values())
+
+    def summary(self) -> Dict[str, float]:
+        """Flat metrics block for :meth:`BuiltScenario.summary`."""
+        stall_times = [clock.stall_time for clock in self.clocks.values()]
+        return {
+            "rebuffer_events": float(self.total_stall_events()),
+            "rebuffer_time_ms": self.total_stall_time(),
+            "rebuffer_mean_ms": mean(stall_times) if stall_times else 0.0,
+            "rebuffer_max_ms": max(stall_times) if stall_times else 0.0,
+            "playout_receivers": float(self.receiver_count),
+            "frames_played": float(self.total_frames_played()),
+        }

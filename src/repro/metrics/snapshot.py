@@ -53,6 +53,9 @@ class MetricsSnapshot:
                                       #: snapshot (cumulative if first)
     session_makespan_ms: float = 0.0  #: first→last delivery span so far
                                       #: (0.0 when no tracker/deliveries)
+    rebuffer_events: int = 0          #: playout stalls so far (0 when no
+                                      #: rebuffer tracker is attached)
+    rebuffer_time_ms: float = 0.0     #: total stall time across receivers
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready payload (the daemon's line format)."""
@@ -93,6 +96,7 @@ def take_snapshot(group, previous: Optional[MetricsSnapshot] = None) -> MetricsS
     goodput = (delta_msgs / (delta_ms / 1000.0)) if delta_ms > 0 else 0.0
     tracker = getattr(group, "makespan", None)
     makespan_ms = tracker.session_makespan() if tracker is not None else 0.0
+    rebuffer = getattr(group, "rebuffer_tracker", None)
     return MetricsSnapshot(
         time_ms=now,
         alive_members=len(group.alive_members()),
@@ -107,4 +111,6 @@ def take_snapshot(group, previous: Optional[MetricsSnapshot] = None) -> MetricsS
         send_dropped=group.network.stats.send_dropped,
         goodput_msgs_per_s=goodput,
         session_makespan_ms=makespan_ms,
+        rebuffer_events=rebuffer.total_stall_events() if rebuffer else 0,
+        rebuffer_time_ms=rebuffer.total_stall_time() if rebuffer else 0.0,
     )

@@ -231,3 +231,74 @@ class GilbertElliottLoss(LossModel):
             bad = not bad
         self._bad_state[link] = bad
         return rng.random() < (self.p_bad if bad else self.p_good)
+
+
+class RegionalOutageLoss(LossModel):
+    """A correlated whole-region partition that later heals.
+
+    During ``[start, start + duration)`` every packet crossing the
+    boundary of an outaged region drops — data *and* control by
+    default, because a partition severs the link itself, not one
+    traffic class.  Members inside an outaged region keep talking to
+    each other; everyone else keeps talking around them.  After the
+    heal, the stranded members discover their accumulated gaps through
+    normal session messages and recover en masse — the mass-gap
+    recovery regime the two-phase buffer rule must survive.
+
+    An independent ``receiver_loss`` floor applies to data packets for
+    the whole run (outside and during the outage).
+
+    Needs a clock: the owning transport calls :meth:`bind_clock` with
+    its time source.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        regions: Set[int],
+        start: float,
+        duration: float,
+        receiver_loss: float = 0.0,
+        kinds: Optional[Set[str]] = None,
+    ) -> None:
+        if start < 0 or duration <= 0:
+            raise ValueError(
+                f"outage needs start >= 0 and duration > 0, got {start!r}/{duration!r}"
+            )
+        if not 0 <= receiver_loss <= 1:
+            raise ValueError(f"receiver_loss must be in [0, 1], got {receiver_loss!r}")
+        self.hierarchy = hierarchy
+        self.regions = set(regions)
+        self.start = start
+        self.end = start + duration
+        self.receiver_loss = receiver_loss
+        self.kinds = {"data", "control"} if kinds is None else set(kinds)
+        self.clock = None
+        self.partition_drops = 0
+
+    def bind_clock(self, clock) -> None:
+        """Attach the time source (called by the transport)."""
+        self.clock = clock
+
+    def active(self, now: float) -> bool:
+        """Whether the partition is in force at *now*."""
+        return self.start <= now < self.end
+
+    def is_lost(self, src: NodeId, dst: NodeId, kind: str, rng: random.Random) -> bool:
+        if self.clock is None:
+            raise RuntimeError(
+                "RegionalOutageLoss has no clock; the transport must call "
+                "bind_clock() before traffic flows"
+            )
+        if (kind in self.kinds and self.regions and self.active(self.clock.now)
+                and self.hierarchy.contains(src) and self.hierarchy.contains(dst)):
+            src_region = self.hierarchy.region_id_of(src)
+            dst_region = self.hierarchy.region_id_of(dst)
+            if src_region != dst_region and (
+                src_region in self.regions or dst_region in self.regions
+            ):
+                self.partition_drops += 1
+                return True
+        if kind == "data" and self.receiver_loss > 0:
+            return rng.random() < self.receiver_loss
+        return False

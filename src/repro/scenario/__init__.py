@@ -46,6 +46,8 @@ from repro.scenario.spec import (
     FecSpec,
     LossSpec,
     MeasurementSpec,
+    MobilitySpec,
+    PlayoutSpec,
     PolicySpec,
     ScenarioSpec,
     TopologySpec,
@@ -60,6 +62,8 @@ __all__ = [
     "FecSpec",
     "LossSpec",
     "MeasurementSpec",
+    "MobilitySpec",
+    "PlayoutSpec",
     "PolicySpec",
     "RegisteredScenario",
     "ScenarioBuilder",

@@ -33,6 +33,8 @@ from repro.scenario.spec import (
     CongestionSpec,
     FecSpec,
     LossSpec,
+    MobilitySpec,
+    PlayoutSpec,
     ScenarioSpec,
     TrafficSpec,
 )
@@ -194,6 +196,21 @@ class ScenarioBuilder:
             p_good=float(p_good), p_bad=float(p_bad),
         ))
 
+    def outage(self, start: float, duration: float, regions: int = 1,
+               receiver_loss: float = 0.0) -> "ScenarioBuilder":
+        """A correlated regional outage: the last *regions* non-sender
+        regions are partitioned from the rest of the tree over
+        ``[start, start + duration)`` — every packet (data and control)
+        crossing the partition boundary drops — then heal, leaving the
+        stranded members to recover their accumulated gaps.  An
+        independent *receiver_loss* floor applies to data packets
+        throughout."""
+        return self._loss(LossSpec(
+            kind="outage", outage_start=float(start),
+            outage_duration=float(duration), outage_regions=int(regions),
+            receiver_loss=float(receiver_loss),
+        ))
+
     def bottleneck(self, capacity: float, window: float = 250.0,
                    receiver_loss: float = 0.0) -> "ScenarioBuilder":
         """A shared link of *capacity* packet deliveries/s (counted
@@ -315,6 +332,37 @@ class ScenarioBuilder:
             mode="passive", update_interval=float(update_interval),
             hysteresis=float(hysteresis), max_reparents=int(max_reparents),
             ewma_alpha=float(ewma_alpha),
+        ))
+        return self
+
+    def mobility(self, speed: float = 4.0, epoch: float = 50.0,
+                 area: float = 1000.0, duration: float = 0.0,
+                 distance_loss: float = 0.0,
+                 protect_sender: bool = True) -> "ScenarioBuilder":
+        """Waypoint mobility (:class:`MobilitySpec`): receivers roam a
+        *area*-sided square at *speed* units/ms, re-evaluating their
+        nearest region anchor every *epoch* ms and gracefully handing
+        off (§3.2) when it changes; *duration* 0 moves until the
+        measurement horizon.  *distance_loss* adds per-link data loss
+        growing with sender/receiver distance."""
+        self._spec = replace(self._spec, mobility=MobilitySpec(
+            kind="waypoint", speed=float(speed), epoch=float(epoch),
+            area=float(area), duration=float(duration),
+            distance_loss=float(distance_loss),
+            protect_sender=bool(protect_sender),
+        ))
+        return self
+
+    def playout(self, interval: float = 25.0,
+                startup_delay: float = 100.0) -> "ScenarioBuilder":
+        """Streaming playback deadlines (:class:`PlayoutSpec`): each
+        receiver plays one sequence number every *interval* ms starting
+        *startup_delay* ms after its first delivery; late frames count
+        rebuffer events and stall time (see
+        :mod:`repro.metrics.rebuffer`)."""
+        self._spec = replace(self._spec, playout=PlayoutSpec(
+            kind="cbr", interval=float(interval),
+            startup_delay=float(startup_delay),
         ))
         return self
 

@@ -252,3 +252,60 @@ def _flash_crowd() -> ScenarioSpec:
         .protocol(max_recovery_time=1_500.0)
         .measure(horizon=2_500.0)
     ).spec()
+
+
+@register_scenario(
+    "mobile_handoff",
+    description="waypoint mobility: members roam between 3 regions, "
+    "handing buffers off through the §3.2 long-term path",
+)
+def _mobile_handoff() -> ScenarioSpec:
+    return (
+        scenario("mobile_handoff")
+        .describe("random-waypoint movement with distance-scaled loss; "
+                  "region changes trigger leave/rejoin handoffs")
+        .regions(3, 10)
+        .uniform(20, 25.0, start=1.0)
+        .loss(p=0.02)
+        .mobility(speed=2.0, epoch=50.0, distance_loss=0.10)
+        .protocol(max_recovery_time=1_200.0)
+        .measure(horizon=2_000.0)
+    ).spec()
+
+
+@register_scenario(
+    "streaming_playback",
+    description="CBR stream judged against per-receiver playout "
+    "deadlines; stalls are counted as rebuffer events",
+)
+def _streaming_playback() -> ScenarioSpec:
+    return (
+        scenario("streaming_playback")
+        .describe("25 ms frame cadence into a lossy two-region WAN; "
+                  "rebuffer tracker scores playback smoothness")
+        .chain(25, 25)
+        .latency(intra=5.0, inter=60.0)
+        .uniform(40, 25.0, start=1.0)
+        .loss(p=0.08)
+        .playout(interval=25.0, startup_delay=50.0)
+        .protocol(max_recovery_time=1_200.0)
+        .measure(horizon=2_500.0)
+    ).spec()
+
+
+@register_scenario(
+    "regional_outage",
+    description="whole-region partition mid-stream: one region drops "
+    "off the WAN, heals, and recovers its accumulated gaps",
+)
+def _regional_outage() -> ScenarioSpec:
+    return (
+        scenario("regional_outage")
+        .describe("inter-region links to one region black-holed for "
+                  "300 ms; mass gap recovery after the heal")
+        .regions(3, 15)
+        .uniform(24, 20.0, start=1.0)
+        .outage(start=150.0, duration=300.0, regions=1, receiver_loss=0.02)
+        .protocol(max_recovery_time=1_500.0)
+        .measure(horizon=2_800.0)
+    ).spec()

@@ -17,7 +17,8 @@ experiment onto specs leaves its tables byte-identical.  Build order:
 4. occupancy probes (``measurement.probe_period``);
 5. traffic (streams scheduled; probe workloads injected immediately);
 6. FEC tail flush;
-7. churn.
+7. churn;
+8. mobility epochs (``spec.mobility``, pre-scheduled finite ticks).
 
 Steps 4-before-5 matter: probe and send events that share a deadline
 fire in insertion order, and the historical experiments created their
@@ -43,6 +44,7 @@ from repro.hashing.deterministic import HashBuffererPolicy
 from repro.membership.churn import ChurnSchedule, random_churn
 from repro.metrics.makespan import MakespanTracker
 from repro.metrics.occupancy import OccupancyProbe
+from repro.metrics.rebuffer import RebufferTracker
 from repro.metrics.stats import mean
 from repro.net.ipmulticast import (
     BernoulliOutcome,
@@ -51,7 +53,12 @@ from repro.net.ipmulticast import (
     RegionCorrelatedOutcome,
 )
 from repro.net.latency import HierarchicalLatency
-from repro.net.loss import BottleneckLoss, GilbertElliottLoss, LossModel
+from repro.net.loss import (
+    BottleneckLoss,
+    GilbertElliottLoss,
+    LossModel,
+    RegionalOutageLoss,
+)
 from repro.net.topology import (
     Hierarchy,
     NodeId,
@@ -63,7 +70,7 @@ from repro.net.topology import (
 from repro.cc import CongestionDriver, controller_for, install_feedback_reporters
 from repro.protocol.config import FEC_OFF, CongestionConfig, RrmpConfig
 from repro.protocol.messages import DataMessage
-from repro.protocol.rrmp import RrmpSimulation
+from repro.protocol.rrmp import RrmpSimulation, default_sender_node
 from repro.scenario.spec import (
     CongestionSpec,
     FecSpec,
@@ -74,6 +81,7 @@ from repro.scenario.spec import (
     TrafficSpec,
 )
 from repro.stability.detector import StabilityBufferPolicy, attach_stability
+from repro.workloads.mobility import DistanceLoss, MobilityManager
 from repro.workloads.traffic import (
     BurstStream,
     PoissonStream,
@@ -147,8 +155,15 @@ def policy_factory_for(policy: PolicySpec) -> Optional[PolicyFactory]:
     return lambda _n: NoBufferPolicy()
 
 
-def transport_loss_for(loss: LossSpec) -> Optional[LossModel]:
-    """The spec's transport-level loss model (``None`` = lossless)."""
+def transport_loss_for(
+    loss: LossSpec, hierarchy: Optional[Hierarchy] = None
+) -> Optional[LossModel]:
+    """The spec's transport-level loss model (``None`` = lossless).
+
+    The ``outage`` kind is region-aware and needs *hierarchy*: the
+    partitioned regions are the last ``outage_regions`` non-sender
+    regions in sorted order (deterministic in the topology alone).
+    """
     if loss.kind == "gilbert_elliott":
         return GilbertElliottLoss(
             p_good_to_bad=loss.p_good_to_bad,
@@ -162,6 +177,22 @@ def transport_loss_for(loss: LossSpec) -> Optional[LossModel]:
             window_ms=loss.window,
             base_loss=loss.receiver_loss,
         )
+    if loss.kind == "outage":
+        if hierarchy is None:
+            raise ValueError("outage loss needs the hierarchy to pick regions")
+        sender_region = hierarchy.region_id_of(default_sender_node(hierarchy))
+        candidates = [
+            region_id for region_id in sorted(hierarchy.regions)
+            if region_id != sender_region
+        ]
+        affected = set(candidates[-loss.outage_regions:]) if candidates else set()
+        return RegionalOutageLoss(
+            hierarchy,
+            affected,
+            start=loss.outage_start,
+            duration=loss.outage_duration,
+            receiver_loss=loss.receiver_loss,
+        )
     return None
 
 
@@ -171,8 +202,9 @@ def outcome_for(loss: LossSpec) -> Optional[MulticastOutcome]:
         return BernoulliOutcome(loss.p)
     if loss.kind == "fixed_holders":
         return FixedHolderCount(loss.k)
-    # none / gilbert_elliott / bottleneck -> perfect initial multicast
-    # (those models live in the transport); region_correlated -> post-wire
+    # none / gilbert_elliott / bottleneck / outage -> perfect initial
+    # multicast (those models live in the transport);
+    # region_correlated -> post-wire
     return None
 
 
@@ -247,6 +279,14 @@ class BuiltScenario:
     #: ``spec.adapt`` is enabled; ``run()`` stops the optimizer.
     linkstate: Optional["LinkStateEstimator"] = None
     adapt: Optional["TreeOptimizer"] = None
+    #: Waypoint-mobility manager (:mod:`repro.workloads.mobility`),
+    #: present when ``spec.mobility`` is enabled; its movement epochs
+    #: are pre-scheduled as a finite set, so ``run()`` need not stop it.
+    mobility: Optional[MobilityManager] = None
+    #: Playout-deadline tracker (:mod:`repro.metrics.rebuffer`),
+    #: attached when ``spec.playout`` is enabled and the spec keeps a
+    #: trace; pure subscriber, never scheduled.
+    rebuffer: Optional[RebufferTracker] = None
     data: Optional[DataMessage] = None
     holders: List[NodeId] = field(default_factory=list)
     bufferers: List[NodeId] = field(default_factory=list)
@@ -332,6 +372,10 @@ class BuiltScenario:
             result["invariant_violations"] = self.oracle.violation_count
         if self.makespan is not None and self.makespan.delivery_count:
             result.update(self.makespan.summary())
+        if self.mobility is not None:
+            result.update(self.mobility.summary())
+        if self.rebuffer is not None:
+            result.update(self.rebuffer.summary())
         if self.adapt is not None:
             result["adapt_updates"] = self.adapt.update_count
             result["adapt_reparents"] = self.adapt.reparent_count
@@ -407,6 +451,16 @@ def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
     """Materialize *spec*: simulation built, traffic and churn scheduled."""
     hierarchy = build_hierarchy(spec.topology)
     config = build_config(spec.policy, spec.fec, spec.congestion)
+    mobility_manager: Optional[MobilityManager] = None
+    if spec.mobility.enabled:
+        # Built against the bare hierarchy so DistanceLoss can wrap the
+        # manager into the transport before the simulation exists.
+        mobility_manager = MobilityManager(hierarchy, spec.mobility, spec.seed)
+    loss_model = transport_loss_for(spec.loss, hierarchy)
+    if mobility_manager is not None and spec.mobility.distance_loss > 0:
+        loss_model = DistanceLoss(
+            mobility_manager, spec.mobility.distance_loss, base=loss_model
+        )
     simulation = RrmpSimulation(
         hierarchy,
         config=config,
@@ -418,7 +472,7 @@ def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
             inter_up_one_way=spec.topology.inter_up_one_way,
             inter_down_one_way=spec.topology.inter_down_one_way,
         ),
-        loss=transport_loss_for(spec.loss),
+        loss=loss_model,
         outcome=outcome_for(spec.loss),
         policy_factory=policy_factory_for(spec.policy),
         keep_trace=spec.measurement.keep_trace,
@@ -438,6 +492,17 @@ def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
         # subscription flips the trace's hot-path ``enabled`` guard,
         # which a streaming (keep_trace=False) sweep relies on.
         built.makespan = MakespanTracker().attach(simulation.trace)
+
+    if spec.playout.enabled and spec.measurement.keep_trace:
+        # Same pure-subscriber contract as the makespan tracker.  The
+        # spec and tracker are stashed on the simulation so the oracle's
+        # rebuffer-accounting invariant can cross-check the counts.
+        built.rebuffer = RebufferTracker(
+            interval=spec.playout.interval,
+            startup_delay=spec.playout.startup_delay,
+        ).attach(simulation.trace)
+        simulation.playout_spec = spec.playout
+        simulation.rebuffer_tracker = built.rebuffer
 
     if spec.adapt.enabled:
         # Imported lazily for the same reason as the oracle below.
@@ -561,4 +626,12 @@ def build_scenario(spec: ScenarioSpec) -> BuiltScenario:
             join_rate=spec.churn.join_rate,
             protect=protect,
         )
+
+    if mobility_manager is not None:
+        duration = spec.mobility.duration
+        if duration <= 0:
+            duration = spec.measurement.horizon or spec.measurement.duration
+            if duration is None:
+                raise ValueError("mobility needs a duration or a horizon")
+        built.mobility = mobility_manager.attach(simulation, duration)
     return built

@@ -35,9 +35,11 @@ TRAFFIC_KINDS = (
 )
 LOSS_KINDS = (
     "none", "bernoulli", "fixed_holders", "region_correlated", "gilbert_elliott",
-    "bottleneck",
+    "bottleneck", "outage",
 )
 CHURN_KINDS = ("none", "random")
+MOBILITY_KINDS = ("none", "waypoint")
+PLAYOUT_KINDS = ("none", "cbr")
 POLICY_KINDS = (
     "two_phase", "fixed_time", "stability", "hash", "never_discard", "no_buffer",
 )
@@ -158,6 +160,12 @@ class TrafficSpec:
             self.initial_interval <= 0 or self.final_interval <= 0
         ):
             raise ValueError("ramp intervals must be > 0")
+        if self.kind == "burst":
+            for burst_time, burst_size in self.bursts:
+                if burst_time < 0:
+                    raise ValueError(f"burst time must be >= 0, got {burst_time!r}")
+                if burst_size < 1:
+                    raise ValueError(f"burst size must be >= 1, got {burst_size}")
         if self.kind == "detect_all" and self.holders < 1:
             raise ValueError(f"detect_all requires holders >= 1, got {self.holders}")
         if self.kind == "search_probe" and self.bufferers < 0:
@@ -187,6 +195,14 @@ class LossSpec:
       independent ``receiver_loss`` floor.  The congestion-control
       ablations run on this model — it is the only one where offered
       load feeds back into loss.
+    * ``outage`` — a correlated whole-region partition: during
+      ``[outage_start, outage_start + outage_duration)`` the last
+      ``outage_regions`` non-sender regions are cut off from the rest
+      of the tree (every packet — data *and* control — crossing the
+      partition boundary drops); after the heal the stranded members
+      recover their accumulated gaps through normal session-message
+      gap detection.  An optional independent ``receiver_loss`` floor
+      applies to data packets throughout.
     """
 
     kind: str = "none"
@@ -200,6 +216,9 @@ class LossSpec:
     p_bad: float = 0.5
     capacity: float = 0.0
     window: float = 250.0
+    outage_start: float = 0.0
+    outage_duration: float = 0.0
+    outage_regions: int = 1
 
     def __post_init__(self) -> None:
         _require_kind(self.kind, LOSS_KINDS, "loss")
@@ -216,6 +235,16 @@ class LossSpec:
             )
         if self.window <= 0:
             raise ValueError(f"loss window must be > 0 ms, got {self.window!r}")
+        if self.outage_start < 0 or self.outage_duration < 0:
+            raise ValueError("outage times must be >= 0")
+        if self.outage_regions < 1:
+            raise ValueError(
+                f"outage_regions must be >= 1, got {self.outage_regions}"
+            )
+        if self.kind == "outage" and self.outage_duration <= 0:
+            raise ValueError(
+                f"outage loss needs outage_duration > 0 ms, got {self.outage_duration!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -241,6 +270,94 @@ class ChurnSpec:
                 raise ValueError(f"churn {name} must be >= 0")
         if self.duration < 0:
             raise ValueError(f"churn duration must be >= 0, got {self.duration!r}")
+
+
+@dataclass(frozen=True)
+class MobilitySpec:
+    """Waypoint mobility: receivers roam a square field and hand off.
+
+    ``kind`` selects the model:
+
+    * ``none`` — receivers stay where the topology put them (the
+      default; byte-identical to historical behaviour, no mobility
+      manager is built);
+    * ``waypoint`` — every receiver walks toward a waypoint at
+      ``speed`` field-units per ms, re-drawn from a deterministic
+      per-(node, epoch) seed when reached.  Each region owns a fixed
+      anchor point; every ``epoch`` ms each node re-evaluates its
+      nearest anchor and, when that differs from its current region,
+      gracefully leaves (§3.2 handoff — long-term buffers drain
+      through the handoff path) and re-joins the new region.
+
+    ``area`` is the field side length, ``duration`` bounds movement
+    (0 = until the measurement horizon/duration), ``distance_loss``
+    adds per-link data loss growing with sender/receiver distance
+    (0 at co-location, ``distance_loss`` at full-field separation),
+    and ``protect_sender`` pins the sender so the session survives.
+    """
+
+    kind: str = "none"
+    speed: float = 4.0
+    epoch: float = 50.0
+    area: float = 1000.0
+    duration: float = 0.0
+    distance_loss: float = 0.0
+    protect_sender: bool = True
+
+    def __post_init__(self) -> None:
+        _require_kind(self.kind, MOBILITY_KINDS, "mobility")
+        if self.speed < 0:
+            raise ValueError(f"mobility speed must be >= 0, got {self.speed!r}")
+        if self.epoch <= 0:
+            raise ValueError(f"mobility epoch must be > 0 ms, got {self.epoch!r}")
+        if self.area <= 0:
+            raise ValueError(f"mobility area must be > 0, got {self.area!r}")
+        if self.duration < 0:
+            raise ValueError(
+                f"mobility duration must be >= 0, got {self.duration!r}"
+            )
+        if not 0.0 <= self.distance_loss <= 1.0:
+            raise ValueError(
+                f"mobility distance_loss must be in [0, 1], got {self.distance_loss!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a real mobility model (not ``"none"``) is requested."""
+        return self.kind != "none"
+
+
+@dataclass(frozen=True)
+class PlayoutSpec:
+    """Streaming playback deadlines per receiver (see :mod:`repro.metrics.rebuffer`).
+
+    * ``none`` — no playout clocks (the default; byte-identical to
+      historical behaviour, no rebuffer tracker is attached);
+    * ``cbr`` — each receiver plays sequence numbers in order from its
+      first delivery: playback starts ``startup_delay`` ms after the
+      first arrival and consumes one sequence number every
+      ``interval`` ms.  A frame arriving after its deadline counts one
+      rebuffer (stall) event and its lateness as stall time, and
+      shifts all later deadlines by the stall (playback pauses).
+    """
+
+    kind: str = "none"
+    interval: float = 25.0
+    startup_delay: float = 100.0
+
+    def __post_init__(self) -> None:
+        _require_kind(self.kind, PLAYOUT_KINDS, "playout")
+        if self.interval <= 0:
+            raise ValueError(f"playout interval must be > 0 ms, got {self.interval!r}")
+        if self.startup_delay < 0:
+            raise ValueError(
+                f"playout startup_delay must be >= 0, got {self.startup_delay!r}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether playout clocks (not ``"none"``) are requested."""
+        return self.kind != "none"
 
 
 @dataclass(frozen=True)
@@ -455,6 +572,8 @@ class ScenarioSpec:
     fec: FecSpec = field(default_factory=FecSpec)
     congestion: CongestionSpec = field(default_factory=CongestionSpec)
     adapt: AdaptSpec = field(default_factory=AdaptSpec)
+    mobility: MobilitySpec = field(default_factory=MobilitySpec)
+    playout: PlayoutSpec = field(default_factory=PlayoutSpec)
     measurement: MeasurementSpec = field(default_factory=MeasurementSpec)
     description: str = ""
 
@@ -464,20 +583,27 @@ class ScenarioSpec:
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready plain-dict form.
 
-        The ``congestion`` and ``adapt`` nodes are omitted while they
-        equal their defaults (controller ``"none"`` / mode ``"off"``),
-        and the bottleneck-only loss fields (``capacity``, ``window``)
-        plus the asymmetric-latency topology fields are omitted at
-        their defaults: pre-existing specs keep their serialized form —
-        and therefore their :meth:`digest` — exactly.
+        The ``congestion``, ``adapt``, ``mobility`` and ``playout``
+        nodes are omitted while they equal their defaults (controller
+        ``"none"`` / mode ``"off"`` / kind ``"none"``), and the
+        bottleneck-only loss fields (``capacity``, ``window``), the
+        outage-only loss fields plus the asymmetric-latency topology
+        fields are omitted at their defaults: pre-existing specs keep
+        their serialized form — and therefore their :meth:`digest` —
+        exactly.
         """
         payload = asdict(self)
         if self.congestion == CongestionSpec():
             del payload["congestion"]
         if self.adapt == AdaptSpec():
             del payload["adapt"]
+        if self.mobility == MobilitySpec():
+            del payload["mobility"]
+        if self.playout == PlayoutSpec():
+            del payload["playout"]
         defaults = LossSpec()
-        for name in ("capacity", "window"):
+        for name in ("capacity", "window",
+                     "outage_start", "outage_duration", "outage_regions"):
             if payload["loss"][name] == getattr(defaults, name):
                 del payload["loss"][name]
         topo_defaults = TopologySpec()
@@ -498,6 +624,8 @@ class ScenarioSpec:
             "fec": FecSpec,
             "congestion": CongestionSpec,
             "adapt": AdaptSpec,
+            "mobility": MobilitySpec,
+            "playout": PlayoutSpec,
             "measurement": MeasurementSpec,
         }
         kwargs: Dict[str, Any] = {}

@@ -39,6 +39,8 @@ from repro.scenario.spec import (
     FecSpec,
     LossSpec,
     MeasurementSpec,
+    MobilitySpec,
+    PlayoutSpec,
     PolicySpec,
     ScenarioSpec,
     TopologySpec,
@@ -122,7 +124,8 @@ def _traffic_end(traffic: TrafficSpec) -> float:
 
 def _sample_loss(rng: random.Random) -> LossSpec:
     kind = rng.choice(("none", "bernoulli", "bernoulli", "bernoulli",
-                       "fixed_holders", "region_correlated", "gilbert_elliott"))
+                       "fixed_holders", "region_correlated", "gilbert_elliott",
+                       "outage"))
     if kind == "bernoulli":
         return LossSpec(kind=kind, p=rng.choice((0.05, 0.1, 0.2, 0.35)))
     if kind == "fixed_holders":
@@ -136,6 +139,12 @@ def _sample_loss(rng: random.Random) -> LossSpec:
                         p_good_to_bad=rng.choice((0.01, 0.05)),
                         p_bad_to_good=rng.choice((0.2, 0.4)),
                         p_bad=rng.choice((0.5, 0.8)))
+    if kind == "outage":
+        return LossSpec(kind=kind,
+                        outage_start=rng.choice((20.0, 60.0, 120.0)),
+                        outage_duration=rng.choice((60.0, 120.0, 250.0)),
+                        outage_regions=rng.randint(1, 2),
+                        receiver_loss=rng.choice((0.0, 0.05)))
     return LossSpec()
 
 
@@ -222,6 +231,33 @@ def _sample_adapt(rng: random.Random) -> AdaptSpec:
     )
 
 
+def _sample_mobility(rng: random.Random) -> MobilitySpec:
+    # ~30% on, mirroring the adapt node: the handoff-conservation
+    # invariant then sees mobility handoffs regularly.  Duration 0
+    # resolves to the measurement bound, so movement always terminates.
+    if rng.random() < 0.7:
+        return MobilitySpec()
+    return MobilitySpec(
+        kind="waypoint",
+        speed=rng.choice((2.0, 5.0, 10.0)),
+        epoch=rng.choice((25.0, 50.0)),
+        distance_loss=rng.choice((0.0, 0.1, 0.25)),
+        protect_sender=True,
+    )
+
+
+def _sample_playout(rng: random.Random) -> PlayoutSpec:
+    # ~30% on: the rebuffer-accounting invariant cross-checks the
+    # tracker against the delivery trace on these trials.
+    if rng.random() < 0.7:
+        return PlayoutSpec()
+    return PlayoutSpec(
+        kind="cbr",
+        interval=rng.choice((10.0, 25.0, 50.0)),
+        startup_delay=rng.choice((0.0, 50.0, 150.0)),
+    )
+
+
 def sample_spec(seed: int, index: int) -> ScenarioSpec:
     """The deterministically-sampled spec for trial *index* of *seed*."""
     rng = random.Random(seed * 1_000_003 + index)
@@ -233,12 +269,24 @@ def sample_spec(seed: int, index: int) -> ScenarioSpec:
     fec = _sample_fec(rng)
     congestion = _sample_congestion(rng)
     adapt = _sample_adapt(rng)
+    mobility = _sample_mobility(rng)
+    playout = _sample_playout(rng)
     session = policy.session_interval or 50.0
     duration = _traffic_end(traffic) + 3.0 * session + 100.0
     if congestion.enabled:
         # A throttled sender stretches the stream: the last arrival may
         # wait for credit at min_rate before the tail settles.
         duration += 1000.0 / congestion.min_rate + 3.0 * session
+    if mobility.enabled:
+        # Handoff re-joins accumulate gaps late in the run; give the
+        # fresh members room to detect and recover (or give up) before
+        # the drain is judged.
+        duration += 300.0
+    if loss.kind == "outage":
+        # The partition must heal inside the run, with recovery room
+        # after it, or gapless-delivery is judged mid-outage.
+        duration = max(duration,
+                       loss.outage_start + loss.outage_duration + 3.0 * session + 200.0)
     measurement = MeasurementSpec(duration=duration, drain=True, oracle=True)
     return ScenarioSpec(
         name=f"fuzz-{seed}-{index}",
@@ -251,6 +299,8 @@ def sample_spec(seed: int, index: int) -> ScenarioSpec:
         fec=fec,
         congestion=congestion,
         adapt=adapt,
+        mobility=mobility,
+        playout=playout,
         measurement=measurement,
         description=f"fuzzer sample (fuzz seed {seed}, trial {index})",
     )
@@ -309,6 +359,10 @@ def run_spec(spec: ScenarioSpec) -> TrialOutcome:
 def _shrink_candidates(spec: ScenarioSpec) -> List[Tuple[str, ScenarioSpec]]:
     """Ordered simplifications of *spec* to try (coarsest first)."""
     candidates: List[Tuple[str, ScenarioSpec]] = []
+    if spec.mobility.enabled:
+        candidates.append(("drop mobility", replace(spec, mobility=MobilitySpec())))
+    if spec.playout.enabled:
+        candidates.append(("drop playout", replace(spec, playout=PlayoutSpec())))
     if spec.churn.kind != "none":
         candidates.append(("drop churn", replace(spec, churn=ChurnSpec())))
     if spec.congestion.enabled:

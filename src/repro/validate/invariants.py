@@ -36,6 +36,20 @@ those are off: **congestion-quota** (paced-rate window plus aggregate
 long-term quota under congestion control) and **adaptive-topology**
 (after every ``tree_reparent`` the hierarchy is acyclic, fully
 connected, and no region is orphaned).
+
+The workload-family invariants:
+
+* **handoff-conservation** — every graceful leave balances its §3.2
+  ledger: the long-term entries drained for handoff
+  (``buffer_discard`` with reason ``handoff``) exactly equal the
+  handoffs sent to peers plus the entries orphaned with the last
+  member of a region.  Mobility scenarios exercise this hundreds of
+  times per run (every region crossing is a leave + re-join).
+* **rebuffer-accounting** — the streaming
+  :class:`~repro.metrics.rebuffer.RebufferTracker` is cross-checked
+  against an independent replay of the delivery trace: per receiver,
+  stall events, stall time and frames played must agree exactly.
+  Inert unless a playout spec is attached to the run.
 """
 
 from __future__ import annotations
@@ -619,6 +633,137 @@ class AdaptiveTopology(Invariant):
             self._check_topology(ctx.simulation.sim.now)
 
 
+class HandoffConservation(Invariant):
+    """Every graceful leave balances its §3.2 handoff ledger.
+
+    When a member leaves, the long-term entries it drained for handoff
+    (``buffer_discard`` records with reason ``handoff``) must exactly
+    equal the handoffs it sent to peers (``handoff_sent``) plus the
+    entries orphaned because it was the last member of its region
+    (``handoff_orphaned``).  The three record groups precede the
+    ``member_left`` record within one leave, so the ledger can be
+    settled per node as it departs.  Mobility handoffs go through the
+    same path, so roaming scenarios check this on every region
+    crossing.
+    """
+
+    name = "handoff-conservation"
+    kinds = ("buffer_discard", "handoff_sent", "handoff_orphaned",
+             "member_left", "member_crashed")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._drained: Dict[NodeId, int] = {}
+        self._sent: Dict[NodeId, int] = {}
+        self._orphaned: Dict[NodeId, int] = {}
+
+    def _clear(self, node: NodeId) -> None:
+        self._drained.pop(node, None)
+        self._sent.pop(node, None)
+        self._orphaned.pop(node, None)
+
+    def on_record(self, record: TraceRecord) -> None:
+        node = record["node"]
+        if record.kind == "buffer_discard":
+            if record.get("reason") == DISCARD_HANDOFF:
+                self._drained[node] = self._drained.get(node, 0) + 1
+            return
+        if record.kind == "handoff_sent":
+            self._sent[node] = self._sent.get(node, 0) + 1
+            return
+        if record.kind == "handoff_orphaned":
+            self._orphaned[node] = self._orphaned.get(node, 0) + int(record["count"])
+            return
+        if record.kind == "member_crashed":
+            # A crash performs no handoff; stale counters would mean a
+            # drain that never reached a leave — flagged at the end.
+            return
+        # member_left: settle the ledger for this node.
+        drained = self._drained.get(node, 0)
+        sent = self._sent.get(node, 0)
+        orphaned = self._orphaned.get(node, 0)
+        if drained != sent + orphaned:
+            self.fail(
+                record.time,
+                f"node {node} left with an unbalanced handoff ledger: "
+                f"{drained} long-term entries drained but {sent} handed "
+                f"off + {orphaned} orphaned",
+                record,
+            )
+        self._clear(node)
+
+    def at_end(self, ctx: EndContext) -> None:
+        for node in sorted(set(self._drained) | set(self._sent) | set(self._orphaned)):
+            drained = self._drained.get(node, 0)
+            sent = self._sent.get(node, 0)
+            orphaned = self._orphaned.get(node, 0)
+            self.fail(
+                ctx.simulation.sim.now,
+                f"node {node} has handoff records ({drained} drained, "
+                f"{sent} sent, {orphaned} orphaned) but never completed "
+                "a graceful leave",
+            )
+
+
+class RebufferAccounting(Invariant):
+    """The streaming rebuffer tracker agrees with a trace replay.
+
+    Keeps an independent per-receiver ledger of ``member_received``
+    arrivals and, at the end of the run, replays it through the same
+    playout model (:func:`repro.metrics.rebuffer.replay_rebuffer`) the
+    attached :class:`~repro.metrics.rebuffer.RebufferTracker` ran
+    incrementally — stall events, stall time and frames played must
+    agree exactly, receiver for receiver.  Inert unless the
+    materializer stashed a playout spec and tracker on the simulation.
+    """
+
+    name = "rebuffer-accounting"
+    kinds = ("member_received",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._arrivals: Dict[NodeId, list] = {}
+
+    def on_record(self, record: TraceRecord) -> None:
+        self._arrivals.setdefault(record["node"], []).append(
+            (record["seq"], record.time)
+        )
+
+    def at_end(self, ctx: EndContext) -> None:
+        simulation = ctx.simulation
+        playout = getattr(simulation, "playout_spec", None)
+        tracker = getattr(simulation, "rebuffer_tracker", None)
+        if playout is None or tracker is None or not playout.enabled:
+            return
+        from repro.metrics.rebuffer import replay_rebuffer
+
+        now = simulation.sim.now
+        if set(self._arrivals) != set(tracker.clocks):
+            missing = sorted(set(self._arrivals) ^ set(tracker.clocks))
+            self.fail(
+                now,
+                f"rebuffer tracker and delivery trace disagree on the "
+                f"receiver set (mismatched nodes: {missing[:5]})",
+            )
+            return
+        for node in sorted(self._arrivals):
+            replayed = replay_rebuffer(
+                self._arrivals[node], playout.interval, playout.startup_delay
+            )
+            clock = tracker.clocks[node]
+            expected = (replayed.stall_events, replayed.stall_time,
+                        replayed.frames_played, replayed.skipped)
+            observed = (clock.stall_events, clock.stall_time,
+                        clock.frames_played, clock.skipped)
+            if expected != observed:
+                self.fail(
+                    now,
+                    f"node {node} rebuffer accounting diverged from the "
+                    f"delivery trace: replay says (events, stall_ms, "
+                    f"played, skipped)={expected}, tracker says {observed}",
+                )
+
+
 def default_invariants() -> Sequence[Invariant]:
     """Fresh instances of the full invariant set, in check order."""
     return (
@@ -630,4 +775,6 @@ def default_invariants() -> Sequence[Invariant]:
         FecAccounting(),
         CongestionQuota(),
         AdaptiveTopology(),
+        HandoffConservation(),
+        RebufferAccounting(),
     )

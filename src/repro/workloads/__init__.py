@@ -1,5 +1,6 @@
 """Workloads and canned scenarios (system S11 in DESIGN.md)."""
 
+from repro.workloads.mobility import DistanceLoss, MobilityManager
 from repro.workloads.scenarios import (
     InitialHoldersResult,
     ScaleResult,
@@ -18,7 +19,9 @@ from repro.workloads.traffic import (
 
 __all__ = [
     "BurstStream",
+    "DistanceLoss",
     "InitialHoldersResult",
+    "MobilityManager",
     "PoissonStream",
     "RampStream",
     "ScaleResult",

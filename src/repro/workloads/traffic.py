@@ -257,6 +257,11 @@ class BurstStream(TrafficGenerator):
     def __init__(self, bursts: List) -> None:
         super().__init__()
         self.bursts = list(bursts)
+        for t, size in self.bursts:
+            if t < 0:
+                raise ValueError(f"burst time must be >= 0, got {t!r}")
+            if size < 1:
+                raise ValueError(f"burst size must be >= 1, got {size}")
 
     def _arrival_times(self) -> List[float]:
         times: List[float] = []

@@ -88,6 +88,38 @@ class TestScriptedChurn:
         assert [event.node for event in schedule.applied] == [3, 2]
 
 
+class TestDuplicateGuard:
+    """Regression: scheduling the same event twice used to silently
+    double the churn (two timers firing the same leave)."""
+
+    def test_same_event_twice_in_one_list_rejected(self):
+        simulation = build()
+        event = ChurnEvent(time=50.0, action=EVENT_LEAVE, node=5)
+        with pytest.raises(ValueError, match="duplicate churn event"):
+            ChurnSchedule(simulation, [event, event])
+
+    def test_second_schedule_with_same_event_rejected(self):
+        simulation = build()
+        ChurnSchedule(simulation, [
+            ChurnEvent(time=50.0, action=EVENT_LEAVE, node=5),
+        ])
+        with pytest.raises(ValueError, match="duplicate churn event"):
+            ChurnSchedule(simulation, [
+                ChurnEvent(time=50.0, action=EVENT_LEAVE, node=5),
+            ])
+
+    def test_distinct_events_coexist(self):
+        simulation = build()
+        ChurnSchedule(simulation, [
+            ChurnEvent(time=50.0, action=EVENT_LEAVE, node=5),
+        ])
+        ChurnSchedule(simulation, [
+            ChurnEvent(time=60.0, action=EVENT_LEAVE, node=6),
+        ])
+        simulation.run(duration=100.0)
+        assert simulation.trace.count("member_left") == 2
+
+
 class TestRandomChurn:
     def test_protected_nodes_survive(self):
         simulation = build(n=10, seed=2)
@@ -110,6 +142,36 @@ class TestRandomChurn:
         # everything; joiners recover what sessions advertise to them.
         for seq in range(1, 6):
             assert simulation.all_received(seq)
+
+    def test_generated_events_are_recorded_on_the_schedule(self):
+        """Regression: random_churn used to self-schedule closures and
+        return a schedule with an empty ``events`` list — inspection
+        and replay tooling saw no churn at all."""
+        simulation = build(n=10, seed=5)
+        schedule = random_churn(simulation, random.Random(4),
+                                duration=1_000.0,
+                                leave_rate=0.003, join_rate=0.002)
+        assert schedule.events
+        assert schedule.events == sorted(
+            schedule.events, key=lambda event: event.time
+        )
+        for event in schedule.events:
+            if event.action == EVENT_JOIN:
+                assert event.region is not None
+            else:
+                assert event.lazy and event.node is None
+
+    def test_applied_events_carry_resolved_victims(self):
+        simulation = build(n=10, seed=5)
+        sender = simulation.sender.node_id
+        schedule = random_churn(simulation, random.Random(4),
+                                duration=1_000.0,
+                                leave_rate=0.004, protect=[sender])
+        simulation.run(duration=1_500.0)
+        assert schedule.applied
+        for event in schedule.applied:
+            assert event.node is not None
+            assert event.node != sender
 
     def test_group_never_empties(self):
         simulation = build(n=8, seed=4)

@@ -1,0 +1,112 @@
+"""Tests for the playout/rebuffer model (repro.metrics.rebuffer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.rebuffer import PlayoutClock, RebufferTracker, replay_rebuffer
+from repro.sim.tracing import TraceLog
+
+
+class TestPlayoutClock:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="interval"):
+            PlayoutClock(0.0, 100.0)
+        with pytest.raises(ValueError, match="startup_delay"):
+            PlayoutClock(25.0, -1.0)
+
+    def test_on_time_stream_never_stalls(self):
+        clock = PlayoutClock(interval=25.0, startup_delay=100.0)
+        for index in range(10):
+            clock.on_arrival(index + 1, 10.0 + index * 25.0)
+        assert clock.stall_events == 0
+        assert clock.stall_time == 0.0
+        assert clock.frames_played == 10
+
+    def test_late_frame_stalls_once_and_pauses_playback(self):
+        clock = PlayoutClock(interval=25.0, startup_delay=0.0)
+        clock.on_arrival(1, 0.0)    # deadline for seq 2 is now 25.0
+        clock.on_arrival(2, 100.0)  # 75 ms late: one stall
+        assert clock.stall_events == 1
+        assert clock.stall_time == 75.0
+        # Playback paused: seq 3's deadline moved to 100 + 25 = 125.
+        clock.on_arrival(3, 125.0)
+        assert clock.stall_events == 1
+
+    def test_one_long_gap_counts_one_stall(self):
+        """Frames 2..4 all arrive together after a long gap: the stall
+        bill is charged once (deadline resets to the late arrival)."""
+        clock = PlayoutClock(interval=25.0, startup_delay=0.0)
+        clock.on_arrival(1, 0.0)
+        for seq in (2, 3, 4):
+            clock.on_arrival(seq, 500.0)
+        assert clock.stall_events == 1
+        assert clock.stall_time == 500.0 - 25.0
+        assert clock.frames_played == 4
+
+    def test_out_of_order_arrivals_play_in_order(self):
+        clock = PlayoutClock(interval=25.0, startup_delay=100.0)
+        clock.on_arrival(1, 0.0)
+        clock.on_arrival(3, 10.0)   # buffered, not played
+        assert clock.frames_played == 1
+        clock.on_arrival(2, 20.0)   # releases 2 and 3
+        assert clock.frames_played == 3
+
+    def test_frames_below_the_tune_in_point_are_skipped(self):
+        clock = PlayoutClock(interval=25.0, startup_delay=100.0)
+        clock.on_arrival(5, 0.0)
+        clock.on_arrival(3, 10.0)
+        assert clock.skipped == 1
+        assert clock.frames_played == 1
+
+    def test_startup_delay_absorbs_early_jitter(self):
+        clock = PlayoutClock(interval=25.0, startup_delay=200.0)
+        clock.on_arrival(1, 0.0)
+        clock.on_arrival(2, 150.0)  # late vs cadence, inside the cushion
+        assert clock.stall_events == 0
+
+
+class TestReplayRebuffer:
+    def test_batch_twin_matches_streaming(self):
+        arrivals = [(1, 0.0), (3, 10.0), (2, 80.0), (4, 300.0)]
+        clock = PlayoutClock(25.0, 50.0)
+        for seq, time in arrivals:
+            clock.on_arrival(seq, time)
+        replayed = replay_rebuffer(arrivals, 25.0, 50.0)
+        assert (replayed.stall_events, replayed.stall_time,
+                replayed.frames_played, replayed.skipped) == (
+            clock.stall_events, clock.stall_time,
+            clock.frames_played, clock.skipped,
+        )
+
+
+class TestRebufferTracker:
+    def test_tracks_per_receiver_clocks_from_the_trace(self):
+        trace = TraceLog()
+        tracker = RebufferTracker(interval=25.0, startup_delay=0.0).attach(trace)
+        trace.emit(0.0, "member_received", node=1, seq=1, via="multicast")
+        trace.emit(100.0, "member_received", node=1, seq=2, via="repair")
+        trace.emit(0.0, "member_received", node=2, seq=1, via="multicast")
+        trace.emit(5.0, "buffer_add", node=1, seq=1)  # other kinds ignored
+        assert tracker.receiver_count == 2
+        assert tracker.total_stall_events() == 1
+        assert tracker.total_stall_time() == 75.0
+        assert tracker.total_frames_played() == 3
+
+    def test_summary_is_flat_floats(self):
+        trace = TraceLog()
+        tracker = RebufferTracker().attach(trace)
+        trace.emit(0.0, "member_received", node=1, seq=1, via="multicast")
+        summary = tracker.summary()
+        assert summary["playout_receivers"] == 1.0
+        assert summary["frames_played"] == 1.0
+        assert summary["rebuffer_events"] == 0.0
+        assert all(isinstance(value, float) for value in summary.values())
+
+    def test_tracker_works_on_streaming_traces(self):
+        """keep_records=False traces still fan out to subscribers."""
+        trace = TraceLog(keep_records=False)
+        tracker = RebufferTracker().attach(trace)
+        trace.emit(0.0, "member_received", node=1, seq=1, via="multicast")
+        assert tracker.receiver_count == 1
+        assert trace.records == []

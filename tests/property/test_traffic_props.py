@@ -1,0 +1,117 @@
+"""Property-based tests for the TrafficGenerator pull cursor.
+
+The ``next_send(now, credit)`` surface drives both the event-driven
+scheduler and the congestion controller's pacing loop, so the cursor
+and credit semantics have to hold for every stream shape — most
+delicately at the end of the stream, where an exhausted cursor must
+stay exhausted (no phantom sends) until an explicit ``restart()``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.traffic import (
+    BurstStream,
+    PoissonStream,
+    RampStream,
+    UniformStream,
+)
+
+counts = st.integers(min_value=0, max_value=30)
+intervals = st.floats(min_value=0.5, max_value=100.0,
+                      allow_nan=False, allow_infinity=False)
+starts = st.floats(min_value=0.0, max_value=500.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def streams(draw):
+    kind = draw(st.sampled_from(("uniform", "ramp", "burst", "poisson")))
+    if kind == "uniform":
+        return UniformStream(count=draw(counts), interval=draw(intervals),
+                             start=draw(starts))
+    if kind == "ramp":
+        return RampStream(draw(counts), draw(intervals), draw(intervals),
+                          start=draw(starts))
+    if kind == "burst":
+        bursts = draw(st.lists(
+            st.tuples(starts, st.integers(min_value=1, max_value=5)),
+            min_size=0, max_size=6,
+        ))
+        return BurstStream(bursts)
+    return PoissonStream(
+        rate=draw(st.floats(min_value=0.001, max_value=0.2)),
+        duration=draw(st.floats(min_value=10.0, max_value=500.0)),
+        rng=random.Random(draw(st.integers(min_value=0, max_value=2**16))),
+    )
+
+
+any_stream = streams()
+
+
+class TestCursorExhaustion:
+    @given(stream=any_stream)
+    @settings(max_examples=150, deadline=None)
+    def test_cursor_drains_exactly_arrival_count_then_stays_none(self, stream):
+        expected = stream.arrival_count()
+        pulled = []
+        now = 0.0
+        while (t := stream.next_send(now)) is not None:
+            pulled.append(t)
+            now = t
+        assert len(pulled) == expected
+        assert stream.remaining() == 0
+        # Exhaustion is sticky: no now/credit combination revives it.
+        assert stream.next_send(now) is None
+        assert stream.next_send(now + 1e6, credit=now + 2e6) is None
+        assert stream.peek_arrival() is None
+
+    @given(stream=any_stream)
+    @settings(max_examples=150, deadline=None)
+    def test_restart_after_exhaustion_replays_the_same_sequence(self, stream):
+        first, now = [], 0.0
+        while (t := stream.next_send(now)) is not None:
+            first.append(t)
+            now = t
+        stream.restart()
+        assert stream.remaining() == stream.arrival_count()
+        second, now = [], 0.0
+        while (t := stream.next_send(now)) is not None:
+            second.append(t)
+            now = t
+        assert second == first
+
+    @given(stream=any_stream)
+    @settings(max_examples=150, deadline=None)
+    def test_peek_always_agrees_with_the_next_pull(self, stream):
+        now = 0.0
+        while True:
+            peeked = stream.peek_arrival()
+            pulled = stream.next_send(now)
+            if pulled is None:
+                assert peeked is None
+                break
+            # Credit-free pulls fire at max(arrival, now): peek reports
+            # the raw arrival, the pull can only be later.
+            assert peeked is not None
+            assert pulled >= peeked
+            now = pulled
+
+    @given(stream=any_stream,
+           credit=st.floats(min_value=0.0, max_value=1e4,
+                            allow_nan=False, allow_infinity=False))
+    @settings(max_examples=150, deadline=None)
+    def test_credit_only_defers_never_reorders(self, stream, credit):
+        """Pulling under credit yields a non-decreasing send schedule
+        whose length still equals the arrival count."""
+        sends, now = [], 0.0
+        while (t := stream.next_send(now, credit=credit)) is not None:
+            assert t >= credit or t >= now
+            sends.append(t)
+            now = t
+        assert len(sends) == stream.arrival_count()
+        assert sends == sorted(sends)

@@ -96,6 +96,34 @@ class TestBuilderProducesSpecs:
         assert spec.adapt.max_reparents == 5
         assert spec.adapt.ewma_alpha == 0.3
 
+    def test_workload_verbs_set_their_sub_specs(self):
+        spec = (
+            scenario().regions(3, 10)
+            .mobility(speed=5.0, epoch=30.0, distance_loss=0.15)
+            .playout(interval=20.0, startup_delay=60.0)
+            .spec()
+        )
+        assert spec.mobility.enabled
+        assert spec.mobility.kind == "waypoint"
+        assert spec.mobility.speed == 5.0
+        assert spec.mobility.distance_loss == 0.15
+        assert spec.playout.enabled
+        assert spec.playout.interval == 20.0
+        assert spec.playout.startup_delay == 60.0
+
+    def test_outage_verb_sets_the_loss_node(self):
+        spec = (
+            scenario().regions(3, 10)
+            .outage(start=100.0, duration=250.0, regions=2,
+                    receiver_loss=0.05)
+            .spec()
+        )
+        assert spec.loss.kind == "outage"
+        assert spec.loss.outage_start == 100.0
+        assert spec.loss.outage_duration == 250.0
+        assert spec.loss.outage_regions == 2
+        assert spec.loss.receiver_loss == 0.05
+
     def test_latency_verb_sets_directional_delays(self):
         spec = (
             scenario().chain(5, 5)

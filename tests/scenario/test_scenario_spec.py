@@ -20,6 +20,8 @@ from repro.scenario.spec import (
     FecSpec,
     LossSpec,
     MeasurementSpec,
+    MobilitySpec,
+    PlayoutSpec,
     PolicySpec,
     ScenarioSpec,
     TopologySpec,
@@ -47,6 +49,10 @@ def _custom_spec() -> ScenarioSpec:
         fec=FecSpec(mode="proactive", block_size=4, parity=2),
         adapt=AdaptSpec(mode="passive", update_interval=150.0,
                         hysteresis=0.2, max_reparents=4, ewma_alpha=0.3),
+        mobility=MobilitySpec(kind="waypoint", speed=3.0, epoch=40.0,
+                              area=800.0, distance_loss=0.2,
+                              protect_sender=False),
+        playout=PlayoutSpec(kind="cbr", interval=20.0, startup_delay=80.0),
         measurement=MeasurementSpec(horizon=2_000.0, probe_period=25.0),
     )
 
@@ -219,6 +225,62 @@ class TestAdaptSpec:
             AdaptSpec(ewma_alpha=0.0)
         with pytest.raises(ValueError):
             AdaptSpec(ewma_alpha=1.5)
+
+
+class TestWorkloadSpecs:
+    """Mobility, playout and outage nodes: digest-neutral at defaults."""
+
+    def test_default_nodes_are_omitted_from_payload(self):
+        """New workload nodes must not appear in serialized defaults, or
+        every pre-existing spec digest in the wild would change."""
+        payload = ScenarioSpec().to_dict()
+        assert "mobility" not in payload
+        assert "playout" not in payload
+        for field in ("outage_start", "outage_duration", "outage_regions"):
+            assert field not in payload["loss"]
+
+    def test_default_nodes_do_not_change_the_digest(self):
+        spec = get_scenario("scale")
+        assert spec.with_(mobility=MobilitySpec()).digest() == spec.digest()
+        assert spec.with_(playout=PlayoutSpec()).digest() == spec.digest()
+
+    def test_enabled_nodes_round_trip(self):
+        spec = ScenarioSpec(
+            mobility=MobilitySpec(kind="waypoint", speed=5.0, epoch=30.0),
+            playout=PlayoutSpec(kind="cbr", interval=10.0),
+            loss=LossSpec(kind="outage", outage_start=100.0,
+                          outage_duration=250.0, outage_regions=2),
+        )
+        restored = ScenarioSpec.from_json(spec.to_json())
+        assert restored == spec
+        assert restored.mobility.enabled and restored.playout.enabled
+        assert restored.loss.outage_duration == 250.0
+        assert restored.digest() == spec.digest()
+
+    def test_enabled_nodes_change_the_digest(self):
+        base = ScenarioSpec()
+        assert base.with_(mobility=MobilitySpec(kind="waypoint")).digest() \
+            != base.digest()
+        assert base.with_(playout=PlayoutSpec(kind="cbr")).digest() \
+            != base.digest()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MobilitySpec(kind="teleport")
+        with pytest.raises(ValueError):
+            MobilitySpec(speed=-1.0)
+        with pytest.raises(ValueError):
+            MobilitySpec(epoch=0.0)
+        with pytest.raises(ValueError):
+            MobilitySpec(distance_loss=1.5)
+        with pytest.raises(ValueError):
+            PlayoutSpec(interval=0.0)
+        with pytest.raises(ValueError):
+            PlayoutSpec(startup_delay=-1.0)
+        with pytest.raises(ValueError):
+            LossSpec(kind="outage")  # needs a positive duration
+        with pytest.raises(ValueError):
+            LossSpec(kind="outage", outage_duration=100.0, outage_regions=0)
 
 
 class TestAsymmetricTopology:

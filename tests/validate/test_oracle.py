@@ -73,6 +73,7 @@ def test_simple_lossy_run_is_clean_and_checked():
         "no-duplicate-delivery", "gapless-delivery", "buffer-conservation",
         "long-term-quota", "recovery-liveness", "fec-accounting",
         "congestion-quota", "adaptive-topology",
+        "handoff-conservation", "rebuffer-accounting",
     }
 
 

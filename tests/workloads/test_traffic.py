@@ -114,6 +114,14 @@ class TestBurstStream:
         stream = BurstStream([(50.0, 1), (10.0, 1)])
         assert stream.send_times() == [10.0, 50.0]
 
+    def test_validation(self):
+        """Regression: negative times and empty bursts used to pass
+        silently and detonate later inside the scheduler."""
+        with pytest.raises(ValueError, match="burst time must be >= 0"):
+            BurstStream([(-1.0, 3)])
+        with pytest.raises(ValueError, match="burst size must be >= 1"):
+            BurstStream([(10.0, 0)])
+
     def test_burst_through_protocol_uses_sessions_for_tail(self):
         """Back-to-back sends: the last message's loss is only
         detectable via session messages (§2.1)."""
